@@ -1,0 +1,56 @@
+"""Result tables produced by benchmark runs.
+
+Each benchmark records the rows it regenerated; the conftest hook prints
+every recorded table in the terminal summary (which pytest never
+captures) and writes it under ``benchmarks/results/`` so EXPERIMENTS.md
+can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
+
+_TABLES: List[Tuple[str, Sequence[str], List[Sequence[str]]]] = []
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:
+    """Register a result table for the end-of-run report."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    _TABLES.append((title, [str(h) for h in headers], rendered))
+    _write_file(title, headers, rendered)
+
+
+def _write_file(title: str, headers: Sequence[str], rows: List[Sequence[str]]) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    # A TRAILING parenthesized part of a title carries run-specific
+    # numbers (fitted parameters, slopes); strip it so filenames stay
+    # stable across runs. Interior parentheses (e.g. "T(d) model") stay.
+    import re
+
+    stem = re.sub(r"\s*\([^()]*\)\s*$", "", title).strip()
+    slug = "".join(c if c.isalnum() else "_" for c in stem.lower()).strip("_")
+    path = os.path.join(RESULTS_DIR, f"{slug}.txt")
+    with open(path, "w") as handle:
+        handle.write(format_table(title, headers, rows))
+
+
+def format_table(title: str, headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines) + "\n"
+
+
+def drain_tables():
+    """All recorded tables; clears the registry."""
+    global _TABLES
+    tables, _TABLES = _TABLES, []
+    return tables

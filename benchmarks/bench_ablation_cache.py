@@ -1,0 +1,25 @@
+"""Ablation — the INR packet-caching extension (Section 3.2).
+
+Repeated cacheable Camera requests should be answered by INR caches;
+the origin camera serves the first request and the caches absorb the
+rest.
+"""
+
+from _report import record_table
+
+from repro.experiments.ablations import run_cache_experiment
+
+
+def test_ablation_packet_cache(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_cache_experiment(requests=10),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "Ablation: INR packet cache on repeated Camera requests",
+        ["requests", "served by origin", "answered from cache"],
+        [(result.requests, result.origin_served, result.cache_answers)],
+    )
+    assert result.origin_served <= 2
+    assert result.cache_answers >= result.requests - 2

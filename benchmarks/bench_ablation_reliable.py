@@ -1,0 +1,54 @@
+"""Ablation — footnote 3: soft-state flooding vs reliable-delta updates.
+
+The paper's footnote 3 sketches the road not taken: reliable TCP-like
+connections between INRs carrying only changed entries, "perhaps
+eliminating periodic updates at the expense of maintaining connection
+state". This bench quantifies the trade on 20 services across two INRs:
+
+- steady-state inter-INR bandwidth (soft state re-floods every name
+  each refresh interval; reliable-delta sends empty keepalives),
+- removal latency of a dead service's name one hop away (soft state
+  cascades one lifetime per hop; a withdrawal propagates instantly once
+  the origin notices),
+- propagation of a metric change (identical: both modes send triggered
+  deltas immediately).
+"""
+
+from _report import record_table
+
+from repro.experiments.ablations import run_update_mode_comparison
+
+
+def test_ablation_update_modes(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_update_mode_comparison(services=20),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "Ablation: soft-state vs reliable-delta inter-INR updates "
+        "(20 services, 15 s refresh)",
+        ["mode", "steady bytes/s", "stale removal (s)", "change propagation (s)"],
+        [
+            (
+                row.mode,
+                f"{row.steady_state_bytes_per_second:.1f}",
+                f"{row.stale_name_removal_s:.1f}",
+                f"{row.change_propagation_s:.3f}",
+            )
+            for row in rows
+        ],
+    )
+    soft, reliable = rows
+    assert soft.mode == "soft-state"
+    # Reliable-delta slashes steady-state bandwidth by an order of
+    # magnitude or more...
+    assert reliable.steady_state_bytes_per_second < (
+        soft.steady_state_bytes_per_second / 10
+    )
+    # ...and removes dead names faster (origin expiry only, no
+    # per-hop soft-state cascade)...
+    assert reliable.stale_name_removal_s < soft.stale_name_removal_s * 0.7
+    # ...while changes propagate equally fast in both modes (triggered
+    # updates are immediate either way).
+    assert abs(reliable.change_propagation_s - soft.change_propagation_s) < 0.1

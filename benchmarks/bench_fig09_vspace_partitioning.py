@@ -1,0 +1,43 @@
+"""Figure 9 — periodic update time under virtual-space partitioning.
+
+Paper: splitting names into two vspaces on ONE machine does not reduce
+the periodic update processing time, but placing the two vspaces on TWO
+machines halves it — the namespace-partitioning scaling technique.
+"""
+
+import pytest
+
+from _report import record_table
+
+from repro.experiments.fig09 import run_partition_experiment
+
+
+def test_fig09_vspace_partitioning(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_partition_experiment(
+            name_counts=(500, 1000, 2000, 3000, 4000, 5000)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "Figure 9: periodic update time (ms) vs names, two equal vspaces",
+        ["names", "1 vspace / 1 machine", "2 vspaces / 1 machine",
+         "2 vspaces / 2 machines"],
+        [
+            (
+                row.total_names,
+                f"{row.one_vspace_one_machine_ms:.0f}",
+                f"{row.two_vspaces_one_machine_ms:.0f}",
+                f"{row.two_vspaces_two_machines_ms:.0f}",
+            )
+            for row in rows
+        ],
+    )
+    for row in rows:
+        assert row.two_vspaces_two_machines_ms == pytest.approx(
+            row.one_vspace_one_machine_ms / 2, rel=0.15
+        )
+        assert row.two_vspaces_one_machine_ms == pytest.approx(
+            row.one_vspace_one_machine_ms, rel=0.15
+        )

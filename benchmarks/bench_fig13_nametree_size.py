@@ -1,0 +1,33 @@
+"""Figure 13 — name-tree memory footprint.
+
+Paper: the Java heap allocated to the name-tree grows from ~0.5 MB to
+~4 MB as names go from a few hundred to 14 300, steeper early (while
+the attribute/value vocabulary fills in) and linear afterwards.
+"""
+
+from _report import record_table
+
+from repro.experiments.fig13 import run_size_experiment
+
+
+def test_fig13_nametree_size(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_size_experiment(
+            name_counts=(100, 1000, 2500, 5000, 7500, 10000, 14300)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "Figure 13: name-tree size vs names in the tree",
+        ["names in tree", "megabytes"],
+        [(row.names_in_tree, f"{row.tree_megabytes:.2f}") for row in rows],
+    )
+    sizes = [row.tree_bytes for row in rows]
+    assert sizes == sorted(sizes)  # monotone growth
+    # Same order of magnitude as the paper at full size (0.5-4 MB there).
+    assert 0.5 < rows[-1].tree_megabytes < 40
+    # Early slope (vocabulary building) steeper than the late slope.
+    early = (rows[1].tree_bytes - rows[0].tree_bytes) / 900
+    late = (rows[-1].tree_bytes - rows[-2].tree_bytes) / 4300
+    assert early > late

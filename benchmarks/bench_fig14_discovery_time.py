@@ -1,0 +1,35 @@
+"""Figure 14 — discovery time of a new name vs overlay hops.
+
+Paper: T_d(h) = h (T_lookup + T_graft + T_update + d_link): linear in
+hop count with a slope under 10 ms/hop; typical discovery times are a
+few tens of milliseconds.
+"""
+
+import pytest
+
+from _report import record_table
+
+from repro.experiments.fig14 import run_discovery_experiment, slope_ms_per_hop
+
+
+def test_fig14_discovery_time(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_discovery_experiment(max_hops=9),
+        rounds=1,
+        iterations=1,
+    )
+    slope = slope_ms_per_hop(rows)
+    record_table(
+        "Figure 14: discovery time of a new name vs INR hops "
+        f"(slope {slope:.2f} ms/hop)",
+        ["hops", "discovery time (ms)"],
+        [(row.hops, f"{row.discovery_ms:.2f}") for row in rows],
+    )
+    assert slope < 10.0  # the paper's bound
+    assert rows[-1].discovery_ms < 100.0  # "tens of milliseconds"
+    # Linearity: every point close to the fitted line.
+    intercept = rows[0].discovery_ms - slope * rows[0].hops
+    for row in rows:
+        assert row.discovery_ms == pytest.approx(
+            intercept + slope * row.hops, rel=0.1
+        )

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Printer: load-balanced printing via intentional anycast (Section 3.3).
+
+A pool of printer spoolers advertises into INS with metrics that track
+their live queues. Users submit jobs by *location only* — the name
+``[service=printer[entity=spooler]][room=517]`` deliberately omits the
+printer id — and INRs route each job to the least-loaded printer. The
+second half flips one printer into an error state and shows anycast
+steering away from it, then lists and removes a queued job.
+
+Run:  python examples/printer_pool.py
+"""
+
+from repro.apps import PrinterClient, PrinterSpooler, printer_name
+from repro.experiments import InsDomain
+
+
+def main() -> None:
+    domain = InsDomain(seed=11)
+    inr_a = domain.add_inr()
+    inr_b = domain.add_inr()
+
+    def app(cls, resolver, **kwargs):
+        node = domain.network.add_node(f"host-{cls.__name__}-{kwargs.get('printer_id', kwargs.get('user', ''))}")
+        instance = cls(node, domain.ports.allocate(), resolver=resolver.address, **kwargs)
+        instance.start()
+        return instance
+
+    lw1 = app(PrinterSpooler, inr_a, printer_id="lw1", room="517", pages_per_second=50)
+    lw2 = app(PrinterSpooler, inr_b, printer_id="lw2", room="517", pages_per_second=50)
+    alice = app(PrinterClient, inr_a, user="alice")
+    bob = app(PrinterClient, inr_b, user="bob")
+    domain.run(3.0)
+
+    print("submitting 6 jobs by location (room 517):")
+    replies = []
+    for submitter, size in [(alice, 200), (bob, 200), (alice, 100),
+                            (bob, 100), (alice, 150), (bob, 150)]:
+        replies.append((submitter.user, submitter.submit_best("517", size=size)))
+        domain.run(1.0)  # let the metric change propagate between jobs
+    for user, reply in replies:
+        chosen = reply.value
+        print(f"  {user}'s job {chosen['job_id']} -> printer {chosen['printer']}")
+
+    print("\nlw1 goes into an error state (out of paper):")
+    lw1.set_error(True)
+    domain.run(1.0)
+    reply = alice.submit_best("517", size=10)
+    domain.run(1.0)
+    print(f"  alice's job -> printer {reply.value['printer']} (lw1 avoided)")
+
+    lw1.set_error(False)
+    domain.run(1.0)
+
+    print("\nqueue management (list + remove with permission check):")
+    big = bob.submit_to(printer_name("lw2", "517"), size=5000)
+    domain.run(1.0)
+    job_id = big.value["job_id"]
+    listing = alice.list_jobs(printer_name("lw2", "517"))
+    domain.run(1.0)
+    print(f"  lw2 queue: {listing.value['jobs']}")
+    denied = alice.remove_job(printer_name("lw2", "517"), job_id)
+    domain.run(1.0)
+    print(f"  alice removing bob's job: {denied.value}")
+    allowed = bob.remove_job(printer_name("lw2", "517"), job_id)
+    domain.run(1.0)
+    print(f"  bob removing his own job: {allowed.value}")
+
+    print(f"\ncompleted jobs: lw1={len(lw1.completed)} lw2={len(lw2.completed)}")
+
+
+if __name__ == "__main__":
+    main()

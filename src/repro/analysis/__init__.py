@@ -1,0 +1,19 @@
+"""Analytic models from the paper's Section 5.1.1."""
+
+from .lookup_model import (
+    ModelFit,
+    fit_parameters,
+    linear_search_time,
+    lookup_time_closed_form,
+    lookup_time_recurrence,
+    relative_error,
+)
+
+__all__ = [
+    "ModelFit",
+    "fit_parameters",
+    "linear_search_time",
+    "lookup_time_closed_form",
+    "lookup_time_recurrence",
+    "relative_error",
+]

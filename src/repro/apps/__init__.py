@@ -1,0 +1,52 @@
+"""The three applications of Section 3: Floorplan, Camera, Printer."""
+
+from .camera import (
+    CameraReceiver,
+    CameraTransmitter,
+    receiver_name,
+    subscribers_of_room,
+    transmitter_name,
+    transmitters_in_room,
+)
+from .common import AppEndpoint, decode_payload, encode_payload
+from .controller import (
+    DeviceController,
+    RemoteControl,
+    controller_name,
+    controllers_in_room,
+)
+from .floorplan import FloorplanApp, Icon, Locator, locator_name
+from .printer import (
+    ERROR_PENALTY,
+    PrintJob,
+    PrinterClient,
+    PrinterSpooler,
+    printer_name,
+    printers_in_room,
+)
+
+__all__ = [
+    "AppEndpoint",
+    "DeviceController",
+    "RemoteControl",
+    "controller_name",
+    "controllers_in_room",
+    "CameraReceiver",
+    "CameraTransmitter",
+    "ERROR_PENALTY",
+    "FloorplanApp",
+    "Icon",
+    "Locator",
+    "PrintJob",
+    "PrinterClient",
+    "PrinterSpooler",
+    "decode_payload",
+    "encode_payload",
+    "locator_name",
+    "printer_name",
+    "printers_in_room",
+    "receiver_name",
+    "subscribers_of_room",
+    "transmitter_name",
+    "transmitters_in_room",
+]

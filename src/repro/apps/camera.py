@@ -1,0 +1,206 @@
+"""Camera: a mobile camera network (Section 3.2).
+
+Transmitters advertise ``[service=camera[entity=transmitter][id=X]]
+[room=R]`` and serve frames in two modes:
+
+- **request-response** — a receiver anycasts a request to a transmitter
+  name; the transmitter replies by inverting source and destination, so
+  the exchange survives node and camera mobility. Responses may carry a
+  cache lifetime, letting INRs answer repeat requests (Section 3.2's
+  caching extension).
+- **subscription** — the transmitter periodically intentional-multicasts
+  its frame to ``[service=camera[entity=receiver][id=*]][room=R]``; the
+  wild-card id reaches every subscribed receiver regardless of identity.
+
+Receivers subscribe simply by advertising a receiver name carrying the
+room they want frames from — group membership *is* the name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..client import Reply
+from ..message import InsMessage
+from ..naming import NameSpecifier
+from .common import AppEndpoint
+
+
+def transmitter_name(
+    camera_id: str,
+    room: str,
+    data_type: str = "picture",
+    image_format: str = "jpg",
+    resolution: str = "640x480",
+) -> NameSpecifier:
+    """The full camera description of the paper's Figure 2: service,
+    entity, id, plus the orthogonal data-type (with its dependent
+    format) and resolution attributes."""
+    return NameSpecifier.from_dict(
+        {
+            "service": (
+                "camera",
+                {
+                    "entity": "transmitter",
+                    "id": camera_id,
+                    "data-type": (data_type, {"format": image_format}),
+                    "resolution": resolution,
+                },
+            ),
+            "room": room,
+        }
+    )
+
+
+def transmitters_in_room(room: str) -> NameSpecifier:
+    """Any camera in ``room`` (id omitted -> wild-card)."""
+    return NameSpecifier.from_dict(
+        {"service": ("camera", {"entity": "transmitter"}), "room": room}
+    )
+
+
+def receiver_name(receiver_id: str, room: str) -> NameSpecifier:
+    return NameSpecifier.from_dict(
+        {
+            "service": ("camera", {"entity": "receiver", "id": receiver_id}),
+            "room": room,
+        }
+    )
+
+
+def subscribers_of_room(room: str) -> NameSpecifier:
+    """All receivers subscribed to ``room``: ``[id=*]`` (Section 3.2)."""
+    return NameSpecifier.from_dict(
+        {
+            "service": ("camera", {"entity": "receiver", "id": "*"}),
+            "room": room,
+        }
+    )
+
+
+class CameraTransmitter(AppEndpoint):
+    """A camera serving frames under an intentional name."""
+
+    def __init__(
+        self,
+        node,
+        port,
+        camera_id: str,
+        room: str,
+        resolver=None,
+        dsr_address=None,
+        frame_interval: float = 1.0,
+        publish_interval: Optional[float] = None,
+        cache_lifetime: int = 0,
+        resolution: str = "640x480",
+        image_format: str = "jpg",
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            node,
+            port,
+            name=transmitter_name(camera_id, room, image_format=image_format,
+                                  resolution=resolution),
+            resolver=resolver,
+            dsr_address=dsr_address,
+            **kwargs,
+        )
+        self.camera_id = camera_id
+        self.resolution = resolution
+        self.image_format = image_format
+        self.room = room
+        self.frame_number = 0
+        self.frame_interval = frame_interval
+        self.publish_interval = publish_interval
+        self.cache_lifetime = cache_lifetime
+        self.requests_served = 0
+        self.frames_published = 0
+
+    def start(self) -> None:
+        super().start()
+        self.every(self.frame_interval, self._capture)
+        if self.publish_interval is not None:
+            self.attached.then(
+                lambda _r: self.every(self.publish_interval, self.publish_frame)
+            )
+
+    def _capture(self) -> None:
+        self.frame_number += 1
+
+    def current_frame(self) -> str:
+        """The synthetic stand-in for an image (Section 2's scope: the
+        evaluation is about names and delivery, not pixels)."""
+        return f"frame-{self.frame_number}/camera-{self.camera_id}/room-{self.room}"
+
+    def move_to_room(self, room: str) -> None:
+        """Service mobility (Section 3.2): the camera was carried to a
+        new room. The name changes; the AnnouncerID does not, so
+        resolvers replace the old name rather than keeping both."""
+        self.room = room
+        self.rename(transmitter_name(self.camera_id, room,
+                                     image_format=self.image_format,
+                                     resolution=self.resolution))
+
+    # Request-response mode -------------------------------------------
+    def handle_request(self, message: InsMessage, fields, source: str) -> None:
+        if fields.get("op") == "get":
+            self.requests_served += 1
+            self.respond(
+                message,
+                {"frame": self.current_frame(), "camera": self.camera_id},
+                cache_lifetime=self.cache_lifetime,
+            )
+
+    # Subscription mode ------------------------------------------------
+    def publish_frame(self) -> None:
+        """Multicast the current frame to every subscriber of this room."""
+        from .common import encode_payload
+
+        self.frames_published += 1
+        self.send_multicast(
+            subscribers_of_room(self.room),
+            encode_payload({"frame": self.current_frame(), "camera": self.camera_id}),
+            source=self.name,
+        )
+
+
+class CameraReceiver(AppEndpoint):
+    """A viewer; announcing its name is what makes multicast reach it."""
+
+    def __init__(
+        self, node, port, receiver_id: str, room: str, resolver=None, dsr_address=None, **kwargs
+    ) -> None:
+        super().__init__(
+            node,
+            port,
+            name=receiver_name(receiver_id, room),
+            resolver=resolver,
+            dsr_address=dsr_address,
+            **kwargs,
+        )
+        self.receiver_id = receiver_id
+        self.room = room
+        self.frames: List[Dict] = []
+
+    def handle_request(self, message: InsMessage, fields, source: str) -> None:
+        # Published frames arrive as unsolicited messages with a frame
+        # field; keep them in arrival order for the application.
+        if "frame" in fields:
+            self.frames.append(fields)
+
+    def request_frame(
+        self, destination: Optional[NameSpecifier] = None, cacheable: bool = False
+    ) -> Reply:
+        """Request one frame from a camera (default: any camera in this
+        receiver's room). ``cacheable`` marks the request as willing to
+        be served from an INR packet cache."""
+        if destination is None:
+            destination = transmitters_in_room(self.room)
+        reply = self.request(destination, {"op": "get"}, accept_cached=cacheable)
+        reply.then(lambda fields: self.frames.append(fields))
+        return reply
+
+    def subscribe_to_room(self, room: str) -> None:
+        """Re-point the subscription at another room (renames)."""
+        self.room = room
+        self.rename(receiver_name(self.receiver_id, room))

@@ -1,0 +1,105 @@
+"""Shared plumbing for the example applications (Section 3).
+
+INS never interprets application data, so each application defines its
+own payload encoding; ours is JSON with a request token, enough to build
+request/response exchanges over intentional anycast. An
+:class:`AppEndpoint` is a :class:`Service` that announces its own name
+(so replies can be late-bound back to it) and correlates responses to
+outstanding requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from typing import Any, Dict, Optional
+
+from ..client import Reply, Service
+from ..message import InsMessage
+from ..naming import NameSpecifier
+
+_TOKENS = itertools.count(1)
+
+
+def encode_payload(fields: Dict[str, Any]) -> bytes:
+    """Serialize an application payload."""
+    return json.dumps(fields, sort_keys=True).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Parse an application payload; returns {} for non-JSON data."""
+    try:
+        decoded = json.loads(data.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return {}
+    return decoded if isinstance(decoded, dict) else {}
+
+
+class AppEndpoint(Service):
+    """A service that also issues correlated requests.
+
+    Subclasses implement :meth:`handle_request` for incoming requests
+    and may call :meth:`request` to perform an anycast RPC: the reply
+    is matched by token and resolves the returned :class:`Reply`.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._outstanding: Dict[int, Reply] = {}
+        self.on_message(self._dispatch)
+
+    # ------------------------------------------------------------------
+    # Outgoing RPC
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        destination: NameSpecifier,
+        fields: Dict[str, Any],
+        accept_cached: bool = False,
+    ) -> Reply:
+        """Anycast ``fields`` to ``destination``; resolves with the
+        responder's payload dict. ``accept_cached`` marks the request
+        as willing to be answered from an INR packet cache."""
+        token = next(_TOKENS)
+        fields = dict(fields)
+        fields["token"] = token
+        reply = Reply()
+        self._outstanding[token] = reply
+        self.send_anycast(
+            destination,
+            encode_payload(fields),
+            source=self.name,
+            accept_cached=accept_cached,
+        )
+        return reply
+
+    def respond(
+        self,
+        request_message: InsMessage,
+        fields: Dict[str, Any],
+        cache_lifetime: int = 0,
+    ) -> None:
+        """Answer an incoming request, echoing its token."""
+        incoming = decode_payload(request_message.data)
+        fields = dict(fields)
+        if "token" in incoming:
+            fields["token"] = incoming["token"]
+        self.reply_to(
+            request_message, encode_payload(fields), cache_lifetime=cache_lifetime
+        )
+
+    # ------------------------------------------------------------------
+    # Incoming dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, message: InsMessage, source: str) -> None:
+        fields = decode_payload(message.data)
+        token = fields.get("token")
+        if token in self._outstanding and "op" not in fields:
+            self._outstanding.pop(token).resolve(fields)
+            return
+        self.handle_request(message, fields, source)
+
+    def handle_request(
+        self, message: InsMessage, fields: Dict[str, Any], source: str
+    ) -> None:
+        """Incoming application request; subclasses override."""

@@ -1,0 +1,126 @@
+"""Device controllers: the TV/MP3 services Floorplan discovers (§3.1).
+
+The paper's deployed Floorplan listed "device controllers for TV/MP3
+players" among the discoverable services. A :class:`DeviceController`
+advertises ``[service=controller[entity=<kind>][id=X]][room=R]`` and
+accepts a small command vocabulary (power, volume, play) over
+intentional anycast; a :class:`RemoteControl` drives any controller in
+a room without knowing its address — or even which specific device will
+answer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..client import Reply
+from ..message import InsMessage
+from ..naming import NameSpecifier
+from .common import AppEndpoint
+
+
+def controller_name(kind: str, device_id: str, room: str) -> NameSpecifier:
+    return NameSpecifier.from_dict(
+        {
+            "service": ("controller", {"entity": kind, "id": device_id}),
+            "room": room,
+        }
+    )
+
+
+def controllers_in_room(room: str, kind: Optional[str] = None) -> NameSpecifier:
+    if kind is None:
+        return NameSpecifier.from_dict({"service": "controller", "room": room})
+    return NameSpecifier.from_dict(
+        {"service": ("controller", {"entity": kind}), "room": room}
+    )
+
+
+class DeviceController(AppEndpoint):
+    """One controllable device (a TV, an MP3 player, ...)."""
+
+    #: volume bounds for every device kind
+    MIN_VOLUME, MAX_VOLUME = 0, 100
+
+    def __init__(
+        self,
+        node,
+        port,
+        kind: str,
+        device_id: str,
+        room: str,
+        resolver=None,
+        dsr_address=None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            node,
+            port,
+            name=controller_name(kind, device_id, room),
+            resolver=resolver,
+            dsr_address=dsr_address,
+            **kwargs,
+        )
+        self.kind = kind
+        self.device_id = device_id
+        self.room = room
+        self.powered = False
+        self.volume = 25
+        self.now_playing: Optional[str] = None
+        self.command_log: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    # Command handling
+    # ------------------------------------------------------------------
+    def handle_request(self, message: InsMessage, fields, source: str) -> None:
+        op = fields.get("op")
+        if op not in ("power", "volume", "play", "status"):
+            return
+        self.command_log.append(fields)
+        if op == "power":
+            self.powered = bool(fields.get("on", not self.powered))
+            if not self.powered:
+                self.now_playing = None
+        elif op == "volume":
+            requested = int(fields.get("level", self.volume))
+            self.volume = max(self.MIN_VOLUME, min(self.MAX_VOLUME, requested))
+        elif op == "play":
+            if self.powered:
+                self.now_playing = str(fields.get("track", ""))
+        self.respond(message, self._status())
+
+    def _status(self) -> Dict:
+        return {
+            "device": self.device_id,
+            "kind": self.kind,
+            "powered": self.powered,
+            "volume": self.volume,
+            "now_playing": self.now_playing,
+        }
+
+
+class RemoteControl(AppEndpoint):
+    """A universal remote: drives devices by intentional name."""
+
+    def __init__(self, node, port, user: str, resolver=None, dsr_address=None,
+                 **kwargs) -> None:
+        name = NameSpecifier.from_dict(
+            {"service": ("controller", {"entity": "remote", "id": user})}
+        )
+        super().__init__(
+            node, port, name=name, resolver=resolver, dsr_address=dsr_address,
+            **kwargs,
+        )
+        self.user = user
+
+    def power(self, target: NameSpecifier, on: bool) -> Reply:
+        return self.request(target, {"op": "power", "on": on})
+
+    def set_volume(self, target: NameSpecifier, level: int) -> Reply:
+        return self.request(target, {"op": "volume", "level": level})
+
+    def play(self, target: NameSpecifier, track: str) -> Reply:
+        return self.request(target, {"op": "play", "track": track})
+
+    def status(self, target: NameSpecifier) -> Reply:
+        return self.request(target, {"op": "status"})

@@ -1,0 +1,160 @@
+"""Floorplan: a map-based service discovery tool (Section 3.1).
+
+Floorplan shows the services available around the user. It learns about
+them by sending a discovery message whose name-specifier acts as a
+filter; every matching name comes back and is turned into an icon keyed
+by (service type, location). Maps themselves are not baked in: they are
+fetched on demand from the :class:`Locator` service by intentional
+anycast, and Locator routes its answer back using the requester's
+intentional name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..client import Reply
+from ..message import InsMessage
+from ..naming import NameSpecifier
+from .common import AppEndpoint
+
+
+def locator_name() -> NameSpecifier:
+    """The Locator server's advertised name."""
+    return NameSpecifier.from_dict({"service": ("locator", {"entity": "server"})})
+
+
+@dataclass(frozen=True)
+class Icon:
+    """One service displayed on the floorplan."""
+
+    service: str
+    entity: str
+    room: str
+    name_wire: str
+
+    @property
+    def label(self) -> str:
+        where = self.room if self.room else "?"
+        return f"{self.service}/{self.entity}@{where}"
+
+
+class Locator(AppEndpoint):
+    """The location server Floorplan fetches region maps from."""
+
+    def __init__(self, node, port, resolver=None, dsr_address=None, **kwargs) -> None:
+        super().__init__(
+            node,
+            port,
+            name=locator_name(),
+            resolver=resolver,
+            dsr_address=dsr_address,
+            **kwargs,
+        )
+        self._maps: Dict[str, str] = {}
+        self.maps_served = 0
+
+    def add_map(self, region: str, map_data: str) -> None:
+        self._maps[region] = map_data
+
+    def handle_request(self, message: InsMessage, fields, source: str) -> None:
+        if fields.get("op") == "map":
+            region = fields.get("region", "")
+            self.maps_served += 1
+            self.respond(
+                message,
+                {
+                    "region": region,
+                    "map": self._maps.get(region, f"<no map for {region}>"),
+                },
+            )
+
+
+class FloorplanApp(AppEndpoint):
+    """The user-facing discovery tool."""
+
+    def __init__(
+        self, node, port, user: str, region: str, resolver=None, dsr_address=None, **kwargs
+    ) -> None:
+        name = NameSpecifier.from_dict(
+            {"service": ("floorplan", {"entity": "client", "id": user})}
+        )
+        super().__init__(
+            node, port, name=name, resolver=resolver, dsr_address=dsr_address, **kwargs
+        )
+        self.user = user
+        self.region = region
+        self.icons: Dict[str, Icon] = {}
+        self.map_data: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Discovery -> icons
+    # ------------------------------------------------------------------
+    def refresh(self, name_filter: Optional[NameSpecifier] = None) -> Reply:
+        """Re-run discovery and rebuild the icon set.
+
+        The default filter is the empty name, which matches every
+        service the resolver knows (omitted attributes are wild-cards);
+        passing e.g. ``[service=printer]`` narrows the display.
+        """
+        if name_filter is None:
+            name_filter = NameSpecifier()
+        reply = self.discover(name_filter)
+        reply.then(self._rebuild_icons)
+        return reply
+
+    def _rebuild_icons(self, names) -> None:
+        icons: Dict[str, Icon] = {}
+        for name, _metric in names:
+            icon = self._icon_for(name)
+            if icon is not None:
+                icons[icon.name_wire] = icon
+        self.icons = icons
+
+    @staticmethod
+    def _icon_for(name: NameSpecifier) -> Optional[Icon]:
+        service_pair = name.root("service")
+        if service_pair is None:
+            return None
+        entity = ""
+        for child in service_pair.children:
+            if child.attribute == "entity":
+                entity = child.value
+        room_pair = name.root("room")
+        return Icon(
+            service=service_pair.value,
+            entity=entity,
+            room=room_pair.value if room_pair is not None else "",
+            name_wire=name.to_wire(),
+        )
+
+    def visible_services(self) -> List[str]:
+        """Sorted icon labels, the "display" of the tool."""
+        return sorted(icon.label for icon in self.icons.values())
+
+    def click(self, label: str) -> Optional[str]:
+        """Simulate clicking an icon: returns the wire name the
+        appropriate application should be launched against."""
+        for icon in self.icons.values():
+            if icon.label == label:
+                return icon.name_wire
+        return None
+
+    # ------------------------------------------------------------------
+    # Map retrieval via Locator
+    # ------------------------------------------------------------------
+    def fetch_map(self, region: Optional[str] = None) -> Reply:
+        """Ask the Locator (by name, not address) for a region's map."""
+        if region is None:
+            region = self.region
+        reply = self.request(locator_name(), {"op": "map", "region": region})
+        reply.then(lambda fields: setattr(self, "map_data", fields.get("map")))
+        return reply
+
+    def move_to_region(self, region: str) -> Reply:
+        """The user walked into a new region: fetch its map and refresh
+        the services shown (the pop-up behaviour of Section 3.1)."""
+        self.region = region
+        self.fetch_map(region)
+        return self.refresh()

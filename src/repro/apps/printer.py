@@ -1,0 +1,205 @@
+"""Printer: a load-balancing printer utility (Section 3.3).
+
+``PrinterSpooler`` proxies one printer: it queues submitted jobs, drains
+them at the printer's speed and keeps its advertised anycast metric in
+step with its load (queue length weighted by job sizes, with a large
+penalty while in an error state). ``PrinterClient`` can submit a job to
+a *named* printer, or — the mode the paper's authors used day to day —
+submit by location only and let intentional anycast find the
+least-loaded printer in that room.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..client import Reply
+from ..message import InsMessage
+from ..naming import NameSpecifier
+from .common import AppEndpoint
+
+#: Metric penalty advertised while the printer reports an error, large
+#: enough that any healthy printer wins anycast.
+ERROR_PENALTY = 1_000_000.0
+
+_JOB_IDS = itertools.count(1)
+
+
+@dataclass
+class PrintJob:
+    """One queued job at a spooler."""
+
+    job_id: int
+    owner: str
+    size: int
+    submitted_at: float
+
+
+def printer_name(printer_id: str, room: str) -> NameSpecifier:
+    """The intentional name a spooler advertises (Section 3.3)."""
+    return NameSpecifier.from_dict(
+        {
+            "service": ("printer", {"entity": "spooler", "id": printer_id}),
+            "room": room,
+        }
+    )
+
+
+def printers_in_room(room: str) -> NameSpecifier:
+    """The anycast destination for "best printer in this room": the
+    printer's id is omitted on purpose (omitted attributes are
+    wild-cards)."""
+    return NameSpecifier.from_dict(
+        {"service": ("printer", {"entity": "spooler"}), "room": room}
+    )
+
+
+class PrinterSpooler(AppEndpoint):
+    """The proxy advertising one printer into INS."""
+
+    def __init__(
+        self,
+        node,
+        port,
+        printer_id: str,
+        room: str,
+        resolver=None,
+        dsr_address=None,
+        pages_per_second: float = 2000.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            node,
+            port,
+            name=printer_name(printer_id, room),
+            resolver=resolver,
+            dsr_address=dsr_address,
+            **kwargs,
+        )
+        self.printer_id = printer_id
+        self.room = room
+        self.pages_per_second = pages_per_second
+        self.queue: List[PrintJob] = []
+        self.completed: List[PrintJob] = []
+        self.error = False
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Load metric (application-controlled, Section 3.3)
+    # ------------------------------------------------------------------
+    def current_metric(self) -> float:
+        """Queued work in seconds, plus the error penalty if down."""
+        backlog = sum(job.size for job in self.queue) / self.pages_per_second
+        return backlog + (ERROR_PENALTY if self.error else 0.0)
+
+    def _refresh_metric(self) -> None:
+        self.set_metric(self.current_metric(), announce_now=True)
+
+    def set_error(self, error: bool) -> None:
+        """Flip the printer's error status; re-advertises immediately."""
+        self.error = error
+        self._refresh_metric()
+
+    # ------------------------------------------------------------------
+    # Queue machinery
+    # ------------------------------------------------------------------
+    def _enqueue(self, owner: str, size: int) -> PrintJob:
+        job = PrintJob(
+            job_id=next(_JOB_IDS), owner=owner, size=size, submitted_at=self.now
+        )
+        self.queue.append(job)
+        self._refresh_metric()
+        if not self._draining:
+            self._schedule_drain()
+        return job
+
+    def _schedule_drain(self) -> None:
+        if self.error or not self.queue:
+            self._draining = False
+            return
+        self._draining = True
+        duration = self.queue[0].size / self.pages_per_second
+        self.set_timer(duration, self._finish_head)
+
+    def _finish_head(self) -> None:
+        if self.queue:
+            self.completed.append(self.queue.pop(0))
+            self._refresh_metric()
+        self._schedule_drain()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def handle_request(self, message: InsMessage, fields, source: str) -> None:
+        op = fields.get("op")
+        if op == "submit":
+            if self.error:
+                self.respond(message, {"ok": False, "error": "printer error"})
+                return
+            job = self._enqueue(fields.get("user", "?"), int(fields.get("size", 1)))
+            self.respond(
+                message,
+                {"ok": True, "job_id": job.job_id, "printer": self.printer_id},
+            )
+        elif op == "list":
+            self.respond(
+                message,
+                {
+                    "ok": True,
+                    "printer": self.printer_id,
+                    "jobs": [
+                        {"job_id": j.job_id, "user": j.owner, "size": j.size}
+                        for j in self.queue
+                    ],
+                },
+            )
+        elif op == "remove":
+            job_id = fields.get("job_id")
+            user = fields.get("user")
+            for job in self.queue:
+                if job.job_id == job_id:
+                    if job.owner != user:
+                        self.respond(
+                            message, {"ok": False, "error": "permission denied"}
+                        )
+                        return
+                    self.queue.remove(job)
+                    self._refresh_metric()
+                    self.respond(message, {"ok": True, "job_id": job_id})
+                    return
+            self.respond(message, {"ok": False, "error": "no such job"})
+
+
+class PrinterClient(AppEndpoint):
+    """The user-side printer utility."""
+
+    def __init__(self, node, port, user: str, resolver=None, dsr_address=None, **kwargs):
+        name = NameSpecifier.from_dict(
+            {"service": ("printer", {"entity": "client", "id": user})}
+        )
+        super().__init__(
+            node, port, name=name, resolver=resolver, dsr_address=dsr_address, **kwargs
+        )
+        self.user = user
+
+    def submit_to(self, printer: NameSpecifier, size: int) -> Reply:
+        """Submit a job to a specific named printer."""
+        return self.request(printer, {"op": "submit", "user": self.user, "size": size})
+
+    def submit_best(self, room: str, size: int) -> Reply:
+        """Submit by location: intentional anycast picks the printer in
+        ``room`` with the least advertised load. The reply names the
+        chosen printer, as the paper's utility informs the user."""
+        return self.request(
+            printers_in_room(room), {"op": "submit", "user": self.user, "size": size}
+        )
+
+    def list_jobs(self, printer: NameSpecifier) -> Reply:
+        return self.request(printer, {"op": "list"})
+
+    def remove_job(self, printer: NameSpecifier, job_id: int) -> Reply:
+        return self.request(
+            printer, {"op": "remove", "job_id": job_id, "user": self.user}
+        )

@@ -1,0 +1,8 @@
+"""The INS application programming interface (Section 3)."""
+
+from .api import InsClient
+from .futures import Reply
+from .mobility import MobilityManager
+from .service import Service
+
+__all__ = ["InsClient", "MobilityManager", "Reply", "Service"]

@@ -1,0 +1,265 @@
+"""The INS client API (Section 3).
+
+:class:`InsClient` is what applications embed. It attaches to an INR
+(either a given one, or the best of the DSR's active list measured by
+INR-ping, mirroring how resolvers choose peers), and then offers the
+three INS services:
+
+- **early binding** — :meth:`resolve_early` returns the [ip, [port,
+  transport]] list with per-endpoint metrics;
+- **intentional anycast** — :meth:`send_anycast` late-binds a message to
+  the single best matching service;
+- **intentional multicast** — :meth:`send_multicast` late-binds to all
+  matching services;
+
+plus :meth:`discover` for bootstrap-style name discovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..message import Binding, Delivery, InsMessage
+from ..naming import NameSpecifier
+from ..netsim import Node, Process
+from ..overlay.protocol import DsrListRequest, DsrListResponse
+from ..resolver.ports import DSR_PORT, INR_PORT
+from ..resolver.protocol import (
+    DataPacket,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    PingRequest,
+    PingResponse,
+    ResolutionRequest,
+    ResolutionResponse,
+)
+from .futures import Reply
+
+#: How long a client waits for INR-ping answers before attaching.
+_ATTACH_PING_TIMEOUT = 0.5
+
+#: The probe name used when a client pings candidate resolvers.
+_PROBE = NameSpecifier.from_dict({"service": "client-ping"})
+
+MessageHandler = Callable[[InsMessage, str], None]
+
+
+class InsClient(Process):
+    """An application endpoint speaking the INS protocols."""
+
+    def __init__(
+        self,
+        node: Node,
+        port: int,
+        resolver: Optional[str] = None,
+        dsr_address: Optional[str] = None,
+        reselect_interval: Optional[float] = None,
+    ) -> None:
+        """``reselect_interval`` enables the periodic part of the client
+        configuration protocol: every interval the client re-measures
+        the active INRs and moves to the best one. Because INR-ping
+        responses queue behind the resolver's CPU backlog, a loaded INR
+        looks slow and clients drain toward freshly spawned helpers —
+        exactly how Section 2.5 expects spawn-based load balancing to
+        take effect."""
+        if resolver is None and dsr_address is None:
+            raise ValueError("a client needs either a resolver or a DSR to find one")
+        super().__init__(node, port)
+        self.resolver = resolver
+        self.dsr_address = dsr_address
+        self.reselect_interval = reselect_interval
+        self.attached = Reply()
+        self._pending: Dict[int, Reply] = {}
+        self._ping_rtts: Dict[str, float] = {}
+        self._ping_sent: Dict[int, tuple] = {}
+        self._message_handler: Optional[MessageHandler] = None
+        self._reselect_timer = None
+
+    # ------------------------------------------------------------------
+    # Attachment (the client configuration protocol)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if (
+            self.reselect_interval is not None
+            and self.dsr_address is not None
+            and self._reselect_timer is None
+        ):
+            self._reselect_timer = self.every(self.reselect_interval, self._reselect)
+        if self.resolver is not None:
+            self.attached.resolve(self.resolver)
+            return
+        self.send(
+            self.dsr_address,
+            DSR_PORT,
+            DsrListRequest(reply_to=self.address, reply_port=self.port),
+        )
+
+    def _reselect(self) -> None:
+        """Re-run resolver selection; the current resolver keeps serving
+        until a better one is measured."""
+        if not self.attached.done:
+            return  # initial selection still in progress
+        self.attached = Reply()
+        self.send(
+            self.dsr_address,
+            DSR_PORT,
+            DsrListRequest(reply_to=self.address, reply_port=self.port),
+        )
+
+    def _handle_inr_list(self, response: DsrListResponse) -> None:
+        if self.attached.done:
+            return
+        if not response.active:
+            # No resolver yet; ask again shortly.
+            self.set_timer(1.0, self.start)
+            return
+        self._ping_rtts = {}
+        for address in response.active:
+            request = PingRequest(
+                probe=_PROBE, reply_to=self.address, reply_port=self.port
+            )
+            self._ping_sent[request.token] = (address, self.now)
+            self.send(address, INR_PORT, request)
+        self.set_timer(_ATTACH_PING_TIMEOUT, self._pick_resolver)
+
+    def _pick_resolver(self) -> None:
+        if self.attached.done:
+            return
+        if not self._ping_rtts:
+            self.set_timer(1.0, self.start)
+            return
+        best = min(self._ping_rtts, key=lambda a: (self._ping_rtts[a], a))
+        self.resolver = best
+        self.attached.resolve(best)
+
+    def reattach(self) -> None:
+        """Re-run resolver selection (e.g. after the INR died or new
+        resolvers were spawned for load balancing)."""
+        if self.dsr_address is None:
+            return
+        self.attached = Reply()
+        self.resolver = None
+        self.start()
+
+    def _require_resolver(self) -> str:
+        if self.resolver is None:
+            raise RuntimeError(
+                f"client {self.address}:{self.port} is not attached to a resolver yet"
+            )
+        return self.resolver
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def resolve_early(self, name: NameSpecifier) -> Reply:
+        """Early binding: resolve ``name`` to [(Endpoint, metric), ...],
+        sorted by metric (least first)."""
+        request = ResolutionRequest(
+            name=name, reply_to=self.address, reply_port=self.port
+        )
+        reply = Reply()
+        self._pending[request.request_id] = reply
+        self.send(self._require_resolver(), INR_PORT, request)
+        return reply
+
+    def resolve_best(self, name: NameSpecifier) -> Reply:
+        """Early binding plus the metric-based selection the paper
+        describes ("the client may select an end-node with the least
+        metric"): resolves to a single (Endpoint, metric) or None."""
+        reply = Reply()
+        self.resolve_early(name).then(
+            lambda bindings: reply.resolve(bindings[0] if bindings else None)
+        )
+        return reply
+
+    def discover(self, name_filter: NameSpecifier) -> Reply:
+        """Name discovery: all known names matching ``name_filter`` as
+        [(NameSpecifier, metric), ...]."""
+        request = DiscoveryRequest(
+            filter=name_filter, reply_to=self.address, reply_port=self.port
+        )
+        reply = Reply()
+        self._pending[request.request_id] = reply
+        self.send(self._require_resolver(), INR_PORT, request)
+        return reply
+
+    # ------------------------------------------------------------------
+    # Late binding sends
+    # ------------------------------------------------------------------
+    def send_message(self, message: InsMessage) -> None:
+        """Hand a fully-formed INS message to the attached resolver."""
+        self.send(self._require_resolver(), INR_PORT, DataPacket(raw=message.encode()))
+
+    def send_anycast(
+        self,
+        destination: NameSpecifier,
+        data: bytes = b"",
+        source: Optional[NameSpecifier] = None,
+        cache_lifetime: int = 0,
+        accept_cached: bool = False,
+    ) -> None:
+        """Intentional anycast: deliver to the best node matching
+        ``destination`` (least application-advertised metric)."""
+        self.send_message(
+            InsMessage(
+                destination=destination,
+                source=source if source is not None else NameSpecifier(),
+                data=data,
+                binding=Binding.LATE,
+                delivery=Delivery.ANYCAST,
+                cache_lifetime=cache_lifetime,
+                accept_cached=accept_cached,
+            )
+        )
+
+    def send_multicast(
+        self,
+        destination: NameSpecifier,
+        data: bytes = b"",
+        source: Optional[NameSpecifier] = None,
+        cache_lifetime: int = 0,
+    ) -> None:
+        """Intentional multicast: deliver to every node matching
+        ``destination``."""
+        self.send_message(
+            InsMessage(
+                destination=destination,
+                source=source if source is not None else NameSpecifier(),
+                data=data,
+                binding=Binding.LATE,
+                delivery=Delivery.MULTICAST,
+                cache_lifetime=cache_lifetime,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_message(self, handler: MessageHandler) -> None:
+        """Register the callback for late-bound messages tunnelled to
+        this endpoint: ``handler(message, source_address)``."""
+        self._message_handler = handler
+
+    def handle_message(self, payload: object, source: str) -> None:
+        if isinstance(payload, (ResolutionResponse, DiscoveryResponse)):
+            reply = self._pending.pop(payload.request_id, None)
+            if reply is not None:
+                reply.resolve(
+                    payload.bindings
+                    if isinstance(payload, ResolutionResponse)
+                    else payload.names
+                )
+        elif isinstance(payload, DataPacket):
+            if self._message_handler is not None:
+                self._message_handler(payload.message, source)
+        elif isinstance(payload, PingResponse):
+            sent = self._ping_sent.pop(payload.token, None)
+            if sent is not None:
+                address, sent_at = sent
+                self._ping_rtts[address] = self.now - sent_at
+        elif isinstance(payload, DsrListResponse):
+            self._handle_inr_list(payload)
+
+    def on_network_change(self) -> None:
+        """Called by the mobility manager after this node's address
+        changed; plain clients have no announcements to repair."""

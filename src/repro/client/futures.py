@@ -1,0 +1,53 @@
+"""A tiny future for request/response over the simulated network.
+
+Client operations (early-binding resolution, name discovery) are
+asynchronous: the reply arrives as a later simulator event. A
+:class:`Reply` lets callers either register callbacks or run the
+simulator and then read ``value``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Reply:
+    """A single-assignment container for an asynchronous result."""
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._done = False
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The result; raises if the reply has not arrived yet."""
+        if not self._done:
+            raise RuntimeError("reply not available yet; run the simulator")
+        return self._value
+
+    def value_or(self, default: Any) -> Any:
+        return self._value if self._done else default
+
+    def resolve(self, value: Any) -> None:
+        """Deliver the result; runs registered callbacks. Idempotent —
+        only the first resolution counts (duplicate datagrams happen)."""
+        if self._done:
+            return
+        self._value = value
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def then(self, callback: Callable[[Any], None]) -> "Reply":
+        """Run ``callback(value)`` once resolved (immediately if done)."""
+        if self._done:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+        return self

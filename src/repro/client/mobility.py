@@ -1,0 +1,39 @@
+"""The mobility manager (Section 4).
+
+In the paper's implementation a MobilityManager at the client detects
+network movement and rebinds the UDP socket when the IP address changes,
+transparently to applications. Here, node movement is an explicit
+simulation action: :meth:`MobilityManager.migrate` gives the node its
+new address (datagrams in flight to the old one are lost, like real
+UDP), then notifies every INS process on the node so services re-announce
+themselves immediately from the new location.
+"""
+
+from __future__ import annotations
+
+from ..netsim import Node
+from .api import InsClient
+
+
+class MobilityManager:
+    """Moves a node between network locations."""
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.moves = 0
+
+    def migrate(self, new_address: str) -> None:
+        """Change the node's network address (node mobility).
+
+        Every :class:`InsClient`-derived process on the node is told via
+        ``on_network_change()``; services re-advertise at once so the
+        name discovery protocol replaces the stale location quickly.
+        """
+        old_address = self.node.address
+        if new_address == old_address:
+            return
+        self.node.network.rename_node(old_address, new_address)
+        self.moves += 1
+        for process in self.node.processes:
+            if isinstance(process, InsClient):
+                process.on_network_change()

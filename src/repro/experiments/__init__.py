@@ -1,0 +1,14 @@
+"""Experiment harnesses: domain wiring, workloads and one module per
+figure of the paper's evaluation (Section 5)."""
+
+from .domain import DSR_HOST, InsDomain
+from .metrics import DomainSampler, ResolverSample
+from .workload import UniformWorkload
+
+__all__ = [
+    "DSR_HOST",
+    "DomainSampler",
+    "InsDomain",
+    "ResolverSample",
+    "UniformWorkload",
+]

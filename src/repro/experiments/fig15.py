@@ -1,0 +1,197 @@
+"""Figure 15: processing and routing time per INR for a 100-packet burst.
+
+The paper sends bursts of one hundred 586-byte messages (Camera
+traffic, ~82-byte random source/destination names) and reports, per
+INR, the time to process and route the burst in three placements:
+
+- **local destination** — the receiver is attached to the same INR:
+  3.1 ms/packet at 250 names growing to 19 ms/packet at 5000, partly
+  lookup but mostly an end-application delivery code artifact that is
+  linear in the number of names (reproduced deliberately by the cost
+  model, and switchable off for the ablation);
+- **remote destination, same vspace** — next-hop forwarding only:
+  ~9.8 ms/packet, essentially flat in the name count;
+- **remote destination, different vspace** — no local tree at all: a
+  DSR query on first access, then cached next-hop forwarding at
+  ~3.8 ms/packet, ~381 ms per burst regardless of name count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..message import Binding, Delivery, InsMessage
+from ..naming import NameSpecifier
+from ..nametree import AnnouncerID, Endpoint, NameRecord, Route
+from ..resolver import DataPacket, InrConfig
+from ..resolver.costs import CostModel
+from ..resolver.ports import INR_PORT
+from .domain import InsDomain
+from .workload import UniformWorkload
+
+#: Bytes of application payload that make the whole packet ~586 bytes,
+#: matching the paper's Camera messages.
+_PAYLOAD_BYTES = 450
+
+_BURST = 100
+
+
+@dataclass
+class RoutingRow:
+    """One point of the Figure 15 curves (ms per 100-packet burst)."""
+
+    names_in_vspace: int
+    local_ms: float
+    remote_same_vspace_ms: float
+    remote_other_vspace_ms: float
+
+
+def _destination_name(vspace: Optional[str]) -> NameSpecifier:
+    spec = {"service": ("fig15", {"entity": "sink", "id": "dst"})}
+    if vspace is not None:
+        spec["vspace"] = vspace
+    return NameSpecifier.from_dict(spec)
+
+
+def _fill_tree(tree, count: int, seed: int) -> None:
+    workload = UniformWorkload(
+        rng=random.Random(seed),
+        depth=2,
+        attribute_range=4,
+        value_range=4,
+        attributes_per_level=2,
+        token_pad=1,
+    )
+    workload.populate_tree(tree, count)
+
+
+def _burst_makespan_ms(
+    domain: InsDomain, inr, destination: NameSpecifier, source_name: NameSpecifier
+) -> float:
+    """Send the burst straight at ``inr`` and measure how long its CPU
+    takes to finish processing and routing it (the per-INR quantity the
+    paper's figure reports)."""
+    message = InsMessage(
+        destination=destination,
+        source=source_name,
+        data=bytes(_PAYLOAD_BYTES),
+        binding=Binding.LATE,
+        delivery=Delivery.ANYCAST,
+    )
+    raw = message.encode()
+    sender = domain.network.add_node("burst-sender")
+    domain.network.configure_link(
+        sender.address, inr.address, latency=0.0, bandwidth_bps=1e12
+    )
+    start = domain.now
+    busy_before = inr.node.cpu.busy_seconds
+    for _ in range(_BURST):
+        domain.network.send(
+            sender.address, inr.address, INR_PORT, DataPacket(raw=raw), len(raw) + 28
+        )
+    # Bounded: periodic timers reschedule forever, so run() would spin.
+    domain.sim.run(until=start + 60.0)
+    # The per-INR quantity Figure 15 reports is the CPU time spent
+    # processing and routing the burst; measuring busy time (rather
+    # than the last-completion timestamp) keeps stray background
+    # protocol chatter from polluting the number.
+    return (inr.node.cpu.busy_seconds - busy_before) * 1000.0
+
+
+def _quiet_config() -> InrConfig:
+    # Everything periodic pushed out of the measurement window so the
+    # burst is the only work the resolver's CPU sees.
+    return InrConfig(
+        refresh_interval=1e6,
+        record_lifetime=1e9,
+        heartbeat_interval=1e6,
+        expiry_sweep_interval=1e6,
+        neighbor_timeout=1e9,
+    )
+
+
+def _measure_local(names: int, seed: int, costs: Optional[CostModel]) -> float:
+    domain = InsDomain(seed=seed, config=_quiet_config(), costs=costs)
+    inr = domain.add_inr(address="inr-a")
+    sink = domain.add_client(address="sink-host", resolver=inr)
+    destination = _destination_name(None)
+    tree = inr.trees["default"]
+    _fill_tree(tree, names - 1, seed)
+    tree.insert(
+        destination,
+        NameRecord(
+            announcer=AnnouncerID.generate("fig15-dst"),
+            endpoints=[Endpoint(host=sink.address, port=sink.port)],
+        ),
+    )
+    return _burst_makespan_ms(domain, inr, destination, NameSpecifier())
+
+
+def _measure_remote_same_vspace(
+    names: int, seed: int, costs: Optional[CostModel]
+) -> float:
+    domain = InsDomain(seed=seed, config=_quiet_config(), costs=costs)
+    inr_a = domain.add_inr(address="inr-a")
+    inr_b = domain.add_inr(address="inr-b")
+    sink = domain.add_client(address="sink-host", resolver=inr_b)
+    destination = _destination_name(None)
+    _fill_tree(inr_a.trees["default"], names - 1, seed)
+    _fill_tree(inr_b.trees["default"], names - 1, seed + 1)
+    inr_a.trees["default"].insert(
+        destination,
+        NameRecord(
+            announcer=AnnouncerID.generate("fig15-dst"),
+            endpoints=[],
+            route=Route(next_hop=inr_b.address, metric=0.004),
+        ),
+    )
+    inr_b.trees["default"].insert(
+        destination,
+        NameRecord(
+            announcer=AnnouncerID.generate("fig15-dst"),
+            endpoints=[Endpoint(host=sink.address, port=sink.port)],
+        ),
+    )
+    return _burst_makespan_ms(domain, inr_a, destination, NameSpecifier())
+
+
+def _measure_remote_other_vspace(
+    names: int, seed: int, costs: Optional[CostModel]
+) -> float:
+    domain = InsDomain(seed=seed, config=_quiet_config(), costs=costs)
+    inr_a = domain.add_inr(address="inr-a", vspaces=("default",))
+    inr_b = domain.add_inr(address="inr-b", vspaces=("remote-space",))
+    sink = domain.add_client(address="sink-host", resolver=inr_b)
+    destination = _destination_name("remote-space")
+    _fill_tree(inr_b.trees["remote-space"], names - 1, seed)
+    inr_b.trees["remote-space"].insert(
+        destination,
+        NameRecord(
+            announcer=AnnouncerID.generate("fig15-dst"),
+            endpoints=[Endpoint(host=sink.address, port=sink.port)],
+        ),
+    )
+    domain.run(1.0)  # let inr-b's vspace registration reach the DSR
+    return _burst_makespan_ms(domain, inr_a, destination, NameSpecifier())
+
+
+def run_routing_experiment(
+    name_counts: Sequence[int] = (250, 1000, 2500, 5000),
+    seed: int = 0,
+    costs: Optional[CostModel] = None,
+) -> List[RoutingRow]:
+    """Reproduce Figure 15. ``costs`` lets the ablation disable the
+    delivery-code artifact (``CostModel(model_delivery_artifact=False)``)."""
+    rows: List[RoutingRow] = []
+    for names in name_counts:
+        rows.append(
+            RoutingRow(
+                names_in_vspace=names,
+                local_ms=_measure_local(names, seed, costs),
+                remote_same_vspace_ms=_measure_remote_same_vspace(names, seed, costs),
+                remote_other_vspace_ms=_measure_remote_other_vspace(names, seed, costs),
+            )
+        )
+    return rows

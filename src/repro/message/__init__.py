@@ -1,0 +1,23 @@
+"""The INS packet format (Section 4, Figure 10)."""
+
+from .header import (
+    DEFAULT_HOP_LIMIT,
+    HEADER_SIZE,
+    INS_VERSION,
+    Binding,
+    Delivery,
+    Header,
+    HeaderError,
+)
+from .packet import InsMessage
+
+__all__ = [
+    "Binding",
+    "DEFAULT_HOP_LIMIT",
+    "Delivery",
+    "HEADER_SIZE",
+    "Header",
+    "HeaderError",
+    "INS_VERSION",
+    "InsMessage",
+]

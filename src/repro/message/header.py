@@ -1,0 +1,131 @@
+"""The INS packet format (Section 4, Figure 10).
+
+The header carries a version, the binding bit-flag ``B`` (early vs late
+binding), the delivery bit-flag ``D`` (intentional anycast vs
+multicast), byte offsets to the variable-length source name-specifier,
+destination name-specifier and application data (so a forwarding agent
+can locate the end of the name-specifiers without parsing them), a hop
+limit decremented at each overlay hop, and a cache lifetime (zero
+disallows caching).
+
+One deliberate widening versus the 32-bit figure: offsets are 32-bit
+here rather than 16, so large payloads (e.g. Camera images) fit without
+a second fragment format the paper does not describe.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+#: Protocol version emitted by this implementation.
+INS_VERSION = 1
+
+#: Default hop limit for late-binding messages traversing the overlay.
+DEFAULT_HOP_LIMIT = 32
+
+#: struct layout: version u8, flags u8, unused u16, src/dst/data offsets
+#: u32, hop limit u16, cache lifetime u16 -> 20-byte fixed header.
+_HEADER = struct.Struct("!BBHIIIHH")
+
+HEADER_SIZE = _HEADER.size
+
+_FLAG_LATE_BINDING = 0x01
+_FLAG_MULTICAST = 0x02
+#: Extension flag (Section 3.2 caching): the sender of this message is
+#: willing to have it answered from an INR's packet cache. Responses
+#: use ``cache_lifetime`` instead to permit being stored.
+_FLAG_ACCEPT_CACHED = 0x04
+
+
+class Binding(enum.Enum):
+    """The B bit-flag: when the name-to-location binding happens."""
+
+    EARLY = "early"
+    LATE = "late"
+
+
+class Delivery(enum.Enum):
+    """The D bit-flag: anycast ("any") vs multicast ("all") delivery."""
+
+    ANYCAST = "any"
+    MULTICAST = "all"
+
+
+class HeaderError(ValueError):
+    """A packet's fixed header is malformed or inconsistent."""
+
+
+@dataclass(frozen=True)
+class Header:
+    """The decoded fixed header of an INS packet."""
+
+    version: int
+    binding: Binding
+    delivery: Delivery
+    source_offset: int
+    destination_offset: int
+    data_offset: int
+    hop_limit: int
+    cache_lifetime: int
+    accept_cached: bool = False
+
+    def pack(self) -> bytes:
+        """Serialize to the 20-byte wire header."""
+        flags = 0
+        if self.binding is Binding.LATE:
+            flags |= _FLAG_LATE_BINDING
+        if self.delivery is Delivery.MULTICAST:
+            flags |= _FLAG_MULTICAST
+        if self.accept_cached:
+            flags |= _FLAG_ACCEPT_CACHED
+        return _HEADER.pack(
+            self.version,
+            flags,
+            0,
+            self.source_offset,
+            self.destination_offset,
+            self.data_offset,
+            self.hop_limit,
+            self.cache_lifetime,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Header":
+        """Decode the fixed header from the front of ``data``."""
+        if len(data) < HEADER_SIZE:
+            raise HeaderError(
+                f"packet too short for header: {len(data)} < {HEADER_SIZE}"
+            )
+        (
+            version,
+            flags,
+            _unused,
+            source_offset,
+            destination_offset,
+            data_offset,
+            hop_limit,
+            cache_lifetime,
+        ) = _HEADER.unpack_from(data)
+        if version != INS_VERSION:
+            raise HeaderError(f"unsupported INS version {version}")
+        if not (
+            HEADER_SIZE <= source_offset <= destination_offset <= data_offset <= len(data)
+        ):
+            raise HeaderError(
+                "header offsets out of order: "
+                f"{source_offset}, {destination_offset}, {data_offset} "
+                f"within packet of {len(data)} bytes"
+            )
+        return cls(
+            version=version,
+            binding=Binding.LATE if flags & _FLAG_LATE_BINDING else Binding.EARLY,
+            delivery=Delivery.MULTICAST if flags & _FLAG_MULTICAST else Delivery.ANYCAST,
+            source_offset=source_offset,
+            destination_offset=destination_offset,
+            data_offset=data_offset,
+            hop_limit=hop_limit,
+            cache_lifetime=cache_lifetime,
+            accept_cached=bool(flags & _FLAG_ACCEPT_CACHED),
+        )

@@ -1,0 +1,134 @@
+"""Whole INS packets: header + name-specifiers + opaque data.
+
+:class:`InsMessage` is the application-visible object; ``encode`` lays
+it out exactly as Figure 10 describes (fixed header, then the two
+wire-format name-specifiers at the recorded offsets, then data) and
+``decode`` reverses it. INRs never touch the data section — the offsets
+exist precisely so the forwarding agent can skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..naming import NameSpecifier
+from .header import (
+    DEFAULT_HOP_LIMIT,
+    HEADER_SIZE,
+    INS_VERSION,
+    Binding,
+    Delivery,
+    Header,
+    HeaderError,
+)
+
+
+@dataclass
+class InsMessage:
+    """One INS data message.
+
+    ``source`` identifies the sender intentionally (it is how replies
+    come back, e.g. Camera transmitters invert source and destination);
+    ``destination`` is the intentional name being resolved. ``data`` is
+    opaque application payload.
+    """
+
+    destination: NameSpecifier
+    source: NameSpecifier = field(default_factory=NameSpecifier)
+    data: bytes = b""
+    binding: Binding = Binding.LATE
+    delivery: Delivery = Delivery.ANYCAST
+    hop_limit: int = DEFAULT_HOP_LIMIT
+    cache_lifetime: int = 0
+    #: Caching extension (Section 3.2): True marks a request willing to
+    #: be answered from an INR packet cache; ``cache_lifetime`` > 0
+    #: marks a response whose data INRs may store.
+    accept_cached: bool = False
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to the Figure 10 packet layout."""
+        source_bytes = self.source.to_wire().encode("utf-8")
+        destination_bytes = self.destination.to_wire().encode("utf-8")
+        source_offset = HEADER_SIZE
+        destination_offset = source_offset + len(source_bytes)
+        data_offset = destination_offset + len(destination_bytes)
+        header = Header(
+            version=INS_VERSION,
+            binding=self.binding,
+            delivery=self.delivery,
+            source_offset=source_offset,
+            destination_offset=destination_offset,
+            data_offset=data_offset,
+            hop_limit=self.hop_limit,
+            cache_lifetime=self.cache_lifetime,
+            accept_cached=self.accept_cached,
+        )
+        return header.pack() + source_bytes + destination_bytes + self.data
+
+    @classmethod
+    def decode(cls, packet: bytes) -> "InsMessage":
+        """Parse a packet produced by :meth:`encode`."""
+        header = Header.unpack(packet)
+        source_text = packet[header.source_offset:header.destination_offset].decode(
+            "utf-8"
+        )
+        destination_text = packet[header.destination_offset:header.data_offset].decode(
+            "utf-8"
+        )
+        if not destination_text:
+            raise HeaderError("packet has an empty destination name-specifier")
+        return cls(
+            destination=NameSpecifier.parse(destination_text),
+            source=NameSpecifier.parse(source_text),
+            data=packet[header.data_offset:],
+            binding=header.binding,
+            delivery=header.delivery,
+            hop_limit=header.hop_limit,
+            cache_lifetime=header.cache_lifetime,
+            accept_cached=header.accept_cached,
+        )
+
+    def wire_size(self) -> int:
+        """Size in bytes of the encoded packet (for link accounting)."""
+        return (
+            HEADER_SIZE
+            + len(self.source.to_wire().encode("utf-8"))
+            + len(self.destination.to_wire().encode("utf-8"))
+            + len(self.data)
+        )
+
+    # ------------------------------------------------------------------
+    # Forwarding helpers
+    # ------------------------------------------------------------------
+    def hop_decremented(self) -> "InsMessage":
+        """A copy with the hop limit reduced by one (overlay forwarding).
+
+        Raises ValueError at zero: the caller must drop the message
+        instead of forwarding it.
+        """
+        if self.hop_limit <= 0:
+            raise ValueError("hop limit exhausted")
+        return replace(self, hop_limit=self.hop_limit - 1)
+
+    def reply_template(self) -> "InsMessage":
+        """A message skeleton addressed back at this message's source.
+
+        Source and destination are inverted, exactly how the Camera
+        transmitter answers a receiver (Section 3.2).
+        """
+        return InsMessage(
+            destination=self.source.copy(),
+            source=self.destination.copy(),
+            binding=self.binding,
+            delivery=Delivery.ANYCAST,
+            hop_limit=DEFAULT_HOP_LIMIT,
+        )
+
+    @property
+    def wants_caching(self) -> bool:
+        """True when INRs may cache this packet's data (Section 3.2)."""
+        return self.cache_lifetime > 0

@@ -1,0 +1,138 @@
+"""Internal nodes of a name-tree (Section 2.3.1, Figure 4).
+
+A name-tree consists of alternating layers of *attribute-nodes*, which
+contain orthogonal attributes, and *value-nodes*, which contain the
+possible values of their parent attribute. Value-nodes carry pointers
+to the name-records of advertisements whose name-specifier ends there.
+The tree root behaves like a value-node with no value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Set, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .record import NameRecord
+
+
+class ValueNode:
+    """A possible value of an attribute, with child attribute-nodes."""
+
+    __slots__ = ("value", "parent", "children", "records", "ptr", "aggregate")
+
+    def __init__(
+        self,
+        value: Optional[str],
+        parent: Optional["AttributeNode"],
+        indexed: bool = False,
+    ) -> None:
+        self.value = value
+        self.parent = parent
+        #: child attribute-nodes, keyed by attribute for O(1) descent
+        self.children: Dict[str, AttributeNode] = {}
+        #: records whose advertised name-specifier has a leaf at this node
+        self.records: Set["NameRecord"] = set()
+        #: transient pointer used by GET-NAME (Figure 6); None outside it
+        self.ptr = None
+        #: optional incrementally-maintained subtree index: maps every
+        #: record at-or-below this node to its attachment count here.
+        #: Enabled per-tree (NameTree(index_subtrees=True)); trades
+        #: memory and O(depth) maintenance on insert/remove for O(1)
+        #: wild-card unions in LOOKUP-NAME.
+        self.aggregate: Optional[Dict["NameRecord", int]] = {} if indexed else None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def child(self, attribute: str) -> Optional["AttributeNode"]:
+        return self.children.get(attribute)
+
+    def ensure_child(self, attribute: str) -> "AttributeNode":
+        """The attribute-node for ``attribute``, created if absent."""
+        node = self.children.get(attribute)
+        if node is None:
+            node = AttributeNode(attribute, self)
+            self.children[attribute] = node
+        return node
+
+    def subtree_records(self) -> Set["NameRecord"]:
+        """All records attached at or below this value-node.
+
+        This is the union LOOKUP-NAME computes for wild-card matching
+        and for queries that end above the advertisement's leaf
+        (omitted query attributes are wild-cards). With the subtree
+        index enabled it is a dictionary-view copy; otherwise a
+        traversal of the subtree.
+        """
+        if self.aggregate is not None:
+            return set(self.aggregate)
+        collected: Set["NameRecord"] = set(self.records)
+        stack = list(self.children.values())
+        while stack:
+            attribute_node = stack.pop()
+            for value_node in attribute_node.children.values():
+                collected.update(value_node.records)
+                stack.extend(value_node.children.values())
+        return collected
+
+    def walk_values(self) -> Iterator["ValueNode"]:
+        """Yield this value-node and every value-node below it."""
+        yield self
+        for attribute_node in self.children.values():
+            for value_node in attribute_node.children.values():
+                yield from value_node.walk_values()
+
+    def prune_upwards(self) -> None:
+        """Remove this node, and now-empty ancestors, from the tree.
+
+        Called after detaching a record; keeps the tree from
+        accumulating dead branches as soft-state expires.
+        """
+        node: Optional[ValueNode] = self
+        while node is not None and not node.is_root:
+            if node.records or node.children:
+                return
+            attribute_node = node.parent
+            assert attribute_node is not None
+            del attribute_node.children[node.value]  # type: ignore[arg-type]
+            parent_value = attribute_node.parent
+            if attribute_node.children:
+                return
+            del parent_value.children[attribute_node.attribute]
+            node = parent_value
+
+    def __repr__(self) -> str:
+        label = "<root>" if self.is_root else self.value
+        return f"ValueNode({label}, records={len(self.records)}, children={len(self.children)})"
+
+
+class AttributeNode:
+    """An orthogonal attribute, with one value-node per known value."""
+
+    __slots__ = ("attribute", "parent", "children")
+
+    def __init__(self, attribute: str, parent: ValueNode) -> None:
+        self.attribute = attribute
+        self.parent = parent
+        #: child value-nodes keyed by value for O(1) exact-match descent
+        self.children: Dict[str, ValueNode] = {}
+
+    def child(self, value: str) -> Optional[ValueNode]:
+        return self.children.get(value)
+
+    def ensure_child(self, value: str) -> ValueNode:
+        """The value-node for ``value``, created if absent; inherits the
+        tree's subtree-indexing choice from its grandparent."""
+        node = self.children.get(value)
+        if node is None:
+            node = ValueNode(value, self, indexed=self.parent.aggregate is not None)
+            self.children[value] = node
+        return node
+
+    def __repr__(self) -> str:
+        return f"AttributeNode({self.attribute}, values={len(self.children)})"

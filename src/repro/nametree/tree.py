@@ -1,0 +1,348 @@
+"""The name-tree and its two central algorithms (Section 2.3).
+
+``NameTree`` stores the superposition of every name-specifier an INR
+knows about and maps each to its name-record. ``lookup`` implements
+LOOKUP-NAME (Figure 5) and ``get_name`` implements GET-NAME (Figure 6).
+Grafting (``insert``), soft-state expiry (``expire``) and branch pruning
+keep the structure consistent as advertisements come and go.
+
+One fidelity note on LOOKUP-NAME: the paper states that omitted
+attributes correspond to wild-cards for both queries and advertisements.
+When a query av-pair is a leaf but the matched value-node is not (the
+advertisement is more specific than the query), we therefore intersect
+with all records in the value-node's *subtree*; Figure 5's prose says
+"the name-records of Tv", and Figure 4's caption says value-nodes point
+to all records they correspond to, which is the same set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..naming import AVPair, NameSpecifier, classify_value
+from .nodes import AttributeNode, ValueNode
+from .record import AnnouncerID, NameRecord
+
+
+@dataclass(frozen=True)
+class InsertOutcome:
+    """What an insert did, for the discovery protocol's benefit.
+
+    ``created`` — the announcer was previously unknown here.
+    ``changed`` — the record carries new information (new name, new
+    endpoints, better metric, ...) and must trigger an update to
+    neighbor INRs; a pure periodic refresh leaves it False.
+    """
+
+    record: NameRecord
+    created: bool
+    changed: bool
+
+
+class NameTree:
+    """A per-virtual-space superposition of name-specifiers."""
+
+    def __init__(
+        self,
+        vspace: str = "default",
+        search: str = "hash",
+        index_subtrees: bool = False,
+    ) -> None:
+        """``search`` selects how attribute/value children are found:
+        ``"hash"`` (the implementation the paper measures) or
+        ``"linear"`` (the strawman in the Section 5.1.1 analysis, kept
+        for the ablation benchmark). ``index_subtrees`` additionally
+        maintains per-value-node record aggregates so wild-card unions
+        cost O(result) instead of O(subtree) — an optimization ablation
+        beyond the paper.
+        """
+        if search not in ("hash", "linear"):
+            raise ValueError(f"unknown search strategy: {search!r}")
+        self.vspace = vspace
+        self._linear = search == "linear"
+        self._root = ValueNode(value=None, parent=None, indexed=index_subtrees)
+        self._by_announcer: Dict[AnnouncerID, NameRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Child search (hash vs linear, for the Section 5.1.1 ablation)
+    # ------------------------------------------------------------------
+    def _find_attribute(self, node: ValueNode, attribute: str) -> Optional[AttributeNode]:
+        if self._linear:
+            for candidate, child in node.children.items():
+                if candidate == attribute:
+                    return child
+            return None
+        return node.children.get(attribute)
+
+    def _find_value(self, node: AttributeNode, value: str) -> Optional[ValueNode]:
+        if self._linear:
+            for candidate, child in node.children.items():
+                if candidate == value:
+                    return child
+            return None
+        return node.children.get(value)
+
+    # ------------------------------------------------------------------
+    # Grafting and removal
+    # ------------------------------------------------------------------
+    def insert(self, name: NameSpecifier, record: NameRecord) -> InsertOutcome:
+        """Graft ``name`` and attach ``record`` at its leaf value-nodes.
+
+        If this announcer is already known the existing record is
+        updated in place (a refresh), re-grafting only when the name
+        itself changed (service mobility, Section 3.2). Advertisements
+        must be concrete: wild-cards and ranges are query-only.
+        """
+        name.require_concrete()
+        if name.is_empty:
+            raise ValueError("cannot advertise an empty name-specifier")
+        record.vspace = self.vspace
+        existing = self._by_announcer.get(record.announcer)
+        if existing is not None:
+            if self.get_name(existing) == name:
+                changed = not existing.same_payload(record)
+                existing.endpoints = list(record.endpoints)
+                existing.anycast_metric = record.anycast_metric
+                existing.route = record.route
+                existing.expires_at = record.expires_at
+                return InsertOutcome(existing, created=False, changed=changed)
+            self.remove(existing)
+            self._graft(name, record)
+            return InsertOutcome(record, created=False, changed=True)
+        self._graft(name, record)
+        return InsertOutcome(record, created=True, changed=True)
+
+    def _graft(self, name: NameSpecifier, record: NameRecord) -> None:
+        record.attachments = []
+        for pair in name.roots:
+            self._graft_pair(self._root, pair, record)
+        self._by_announcer[record.announcer] = record
+
+    def _graft_pair(self, value_node: ValueNode, pair: AVPair, record: NameRecord) -> None:
+        attribute_node = value_node.ensure_child(pair.attribute)
+        child_value = attribute_node.ensure_child(pair.value)
+        if pair.is_leaf:
+            child_value.records.add(record)
+            record.attachments.append(child_value)
+            self._adjust_aggregates(child_value, record, +1)
+            return
+        for child_pair in pair.children:
+            self._graft_pair(child_value, child_pair, record)
+
+    @staticmethod
+    def _adjust_aggregates(leaf: ValueNode, record: NameRecord, delta: int) -> None:
+        """Maintain the optional subtree indexes along one leaf's
+        ancestor chain (counting attachments, since one record may hang
+        from several leaves under a shared ancestor)."""
+        node: Optional[ValueNode] = leaf
+        while node is not None:
+            if node.aggregate is None:
+                return
+            count = node.aggregate.get(record, 0) + delta
+            if count <= 0:
+                node.aggregate.pop(record, None)
+            else:
+                node.aggregate[record] = count
+            attribute_node = node.parent
+            node = attribute_node.parent if attribute_node is not None else None
+
+    def remove(self, record: NameRecord) -> bool:
+        """Detach ``record`` and prune branches it alone kept alive.
+
+        Returns False when the record is not in this tree.
+        """
+        stored = self._by_announcer.get(record.announcer)
+        if stored is not record:
+            return False
+        del self._by_announcer[record.announcer]
+        for value_node in record.attachments:
+            value_node.records.discard(record)
+            self._adjust_aggregates(value_node, record, -1)
+            value_node.prune_upwards()
+        record.attachments = []
+        return True
+
+    def remove_announcer(self, announcer: AnnouncerID) -> Optional[NameRecord]:
+        """Remove and return the record for ``announcer``, if present."""
+        record = self._by_announcer.get(announcer)
+        if record is not None:
+            self.remove(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Soft state
+    # ------------------------------------------------------------------
+    def expire(self, now: float) -> List[NameRecord]:
+        """Remove every record whose lifetime elapsed; returns them."""
+        expired = [
+            record
+            for record in self._by_announcer.values()
+            if record.is_expired(now)
+        ]
+        for record in expired:
+            self.remove(record)
+        return expired
+
+    def next_expiry(self) -> Optional[float]:
+        """Earliest expiration time among live records, or None."""
+        if not self._by_announcer:
+            return None
+        return min(record.expires_at for record in self._by_announcer.values())
+
+    # ------------------------------------------------------------------
+    # LOOKUP-NAME (Figure 5)
+    # ------------------------------------------------------------------
+    def lookup(self, name: NameSpecifier) -> Set[NameRecord]:
+        """All name-records whose advertisements satisfy ``name``."""
+        return set(self._lookup(self._root, name.roots))
+
+    def _lookup(self, tree_node: ValueNode, pairs: Tuple[AVPair, ...]) -> Set[NameRecord]:
+        # ``None`` stands for the universal set so we never materialize
+        # "all possible name-records" just to intersect it away.
+        candidates: Optional[Set[NameRecord]] = None
+        for pair in pairs:
+            attribute_node = self._find_attribute(tree_node, pair.attribute)
+            if attribute_node is None:
+                # No advertisement classifies this attribute here, so
+                # every one of them omitted it: no constraint (omitted
+                # attributes are wild-cards).
+                continue
+            matcher = classify_value(pair.value)
+            if matcher.is_multi:
+                # Wild-card or range: union the subtrees of every
+                # matching value. Av-pairs below a wild-card are
+                # ignored, exactly as the paper specifies.
+                selected: Set[NameRecord] = set()
+                for value, value_node in attribute_node.children.items():
+                    if matcher.matches(value):
+                        selected |= value_node.subtree_records()
+                candidates = self._intersect(candidates, selected)
+            else:
+                value_node = self._find_value(attribute_node, pair.value)
+                if value_node is None:
+                    candidates = set()
+                elif value_node.is_leaf or pair.is_leaf:
+                    candidates = self._intersect(
+                        candidates, value_node.subtree_records()
+                    )
+                else:
+                    candidates = self._intersect(
+                        candidates, self._lookup(value_node, pair.children)
+                    )
+            if candidates is not None and not candidates:
+                break  # early exit: intersection can only stay empty
+        if candidates is None:
+            # No constraint applied at this level: everything below (and
+            # at) this node matches.
+            return tree_node.subtree_records()
+        return candidates | tree_node.records
+
+    @staticmethod
+    def _intersect(
+        current: Optional[Set[NameRecord]], addition: Set[NameRecord]
+    ) -> Set[NameRecord]:
+        if current is None:
+            return set(addition)
+        current &= addition
+        return current
+
+    # ------------------------------------------------------------------
+    # GET-NAME (Figure 6)
+    # ------------------------------------------------------------------
+    def get_name(self, record: NameRecord) -> NameSpecifier:
+        """Reconstruct the name-specifier advertised for ``record``.
+
+        Traces upward from each of the record's leaf value-nodes,
+        grafting reconstructed fragments onto av-pairs already rebuilt
+        (tracked through the transient PTR variable on value-nodes).
+        """
+        name = NameSpecifier()
+        touched: List[ValueNode] = [self._root]
+        self._root.ptr = name
+        try:
+            for value_node in record.attachments:
+                self._trace(value_node, None, touched)
+        finally:
+            for node in touched:
+                node.ptr = None
+        return name
+
+    def _trace(
+        self,
+        value_node: ValueNode,
+        fragment: Optional[AVPair],
+        touched: List[ValueNode],
+    ) -> None:
+        if value_node.ptr is not None:
+            # Something to graft onto: attach the fragment and stop.
+            if fragment is not None:
+                self._graft_fragment(value_node, fragment)
+            return
+        assert value_node.parent is not None, "root always has a PTR"
+        pair = AVPair(value_node.parent.attribute, value_node.value)
+        value_node.ptr = pair
+        touched.append(value_node)
+        if fragment is not None:
+            pair.add_child(fragment)
+        self._trace(value_node.parent.parent, pair, touched)
+
+    @staticmethod
+    def _graft_fragment(value_node: ValueNode, fragment: AVPair) -> None:
+        if value_node.is_root:
+            value_node.ptr.add_pair(fragment)
+        else:
+            value_node.ptr.add_child(fragment)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def record_for(self, announcer: AnnouncerID) -> Optional[NameRecord]:
+        """The live record announced by ``announcer``, or None."""
+        return self._by_announcer.get(announcer)
+
+    def records(self) -> Iterator[NameRecord]:
+        """All live records, in no particular order."""
+        return iter(list(self._by_announcer.values()))
+
+    def names(self) -> Iterator[Tuple[NameSpecifier, NameRecord]]:
+        """All (name-specifier, record) pairs, reconstructed by GET-NAME.
+
+        This is exactly what the discovery protocol transmits in
+        periodic updates (Section 2.3.3).
+        """
+        for record in list(self._by_announcer.values()):
+            yield self.get_name(record), record
+
+    def __len__(self) -> int:
+        """Number of live name-records (distinct announcers)."""
+        return len(self._by_announcer)
+
+    def __contains__(self, announcer: AnnouncerID) -> bool:
+        return announcer in self._by_announcer
+
+    def node_counts(self) -> Tuple[int, int]:
+        """(attribute-node count, value-node count), excluding the root."""
+        attributes = 0
+        values = 0
+        stack = [self._root]
+        while stack:
+            value_node = stack.pop()
+            for attribute_node in value_node.children.values():
+                attributes += 1
+                for child in attribute_node.children.values():
+                    values += 1
+                    stack.append(child)
+        return attributes, values
+
+    @property
+    def root(self) -> ValueNode:
+        """The root value-node (read-only use: sizing, visualization)."""
+        return self._root
+
+    def __repr__(self) -> str:
+        attributes, values = self.node_counts()
+        return (
+            f"NameTree(vspace={self.vspace!r}, records={len(self)}, "
+            f"attribute_nodes={attributes}, value_nodes={values})"
+        )

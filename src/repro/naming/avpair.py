@@ -1,0 +1,147 @@
+"""Attribute-value pairs, the building block of name-specifiers.
+
+An av-pair (Section 2.1) is an attribute (a category, e.g. ``city``)
+bound to a value (the classification, e.g. ``washington``), with child
+av-pairs that are only meaningful in the context of this pair. Children
+with distinct attributes are *orthogonal*; a child whose meaning depends
+on this pair is a *descendant* of it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .errors import DuplicateAttributeError, InvalidTokenError
+
+#: Characters that cannot appear inside attribute or value tokens
+#: because they are structural in the wire format.
+RESERVED_CHARACTERS = frozenset("[]=")
+
+
+def validate_token(token: str, kind: str) -> str:
+    """Check that ``token`` is a legal attribute or value token.
+
+    Tokens are free-form strings, but the wire format reserves
+    ``[``, ``]`` and ``=`` and forbids embedded whitespace (whitespace is
+    a token separator). The single exception: a *value* may begin with a
+    range operator (``<=`` / ``>=``), whose ``=`` the parser also knows
+    how to carry. Returns the token so calls can be inlined.
+    """
+    if not token:
+        raise InvalidTokenError(f"empty {kind} token")
+    body = token
+    if kind == "value" and token[:2] in ("<=", ">="):
+        body = token[2:]
+    for ch in body:
+        if ch in RESERVED_CHARACTERS or ch.isspace():
+            raise InvalidTokenError(
+                f"{kind} token {token!r} contains reserved character {ch!r}"
+            )
+    return token
+
+
+class AVPair:
+    """One attribute-value pair and its dependent children.
+
+    The children are kept in a dict keyed by attribute, preserving
+    insertion order while enforcing sibling-attribute orthogonality and
+    giving O(1) child lookup during name-tree operations.
+    """
+
+    __slots__ = ("attribute", "value", "_children")
+
+    def __init__(self, attribute: str, value: str) -> None:
+        self.attribute = validate_token(attribute, "attribute")
+        self.value = validate_token(value, "value")
+        self._children: Dict[str, "AVPair"] = {}
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def add_child(self, child: "AVPair") -> "AVPair":
+        """Attach ``child`` as a dependent av-pair; returns ``child``.
+
+        Raises :class:`DuplicateAttributeError` when a sibling already
+        classifies the same attribute.
+        """
+        if child.attribute in self._children:
+            raise DuplicateAttributeError(
+                f"sibling av-pair with attribute {child.attribute!r} "
+                f"already present under {self.attribute}={self.value}"
+            )
+        self._children[child.attribute] = child
+        return child
+
+    def add(self, attribute: str, value: str) -> "AVPair":
+        """Create an av-pair and attach it; returns the new child."""
+        return self.add_child(AVPair(attribute, value))
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def children(self) -> Tuple["AVPair", ...]:
+        """The dependent av-pairs, in insertion order."""
+        return tuple(self._children.values())
+
+    def child(self, attribute: str) -> Optional["AVPair"]:
+        """The child av-pair classifying ``attribute``, or None."""
+        return self._children.get(attribute)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when this av-pair has no dependent children."""
+        return not self._children
+
+    def walk(self) -> Iterator["AVPair"]:
+        """Yield this pair and every descendant, pre-order."""
+        yield self
+        for child in self._children.values():
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Number of av-pair levels in the subtree rooted here (>= 1)."""
+        if not self._children:
+            return 1
+        return 1 + max(child.depth() for child in self._children.values())
+
+    def count(self) -> int:
+        """Total number of av-pairs in the subtree rooted here."""
+        return sum(1 for _ in self.walk())
+
+    # ------------------------------------------------------------------
+    # Structural equality and canonical ordering
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> tuple:
+        """A hashable key identifying this subtree up to sibling order."""
+        return (
+            self.attribute,
+            self.value,
+            tuple(sorted(c.canonical_key() for c in self._children.values())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AVPair):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def copy(self) -> "AVPair":
+        """A deep copy of this subtree."""
+        duplicate = AVPair(self.attribute, self.value)
+        for child in self._children.values():
+            duplicate.add_child(child.copy())
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"AVPair({self.attribute}={self.value}, children={len(self._children)})"
+
+
+def make_pair(attribute: str, value: str, *children: AVPair) -> AVPair:
+    """Convenience constructor: an av-pair with pre-built children."""
+    pair = AVPair(attribute, value)
+    for child in children:
+        pair.add_child(child)
+    return pair

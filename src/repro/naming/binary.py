@@ -1,0 +1,236 @@
+"""Compact binary encoding of name-specifiers (footnote 2).
+
+The paper's wire format is human-readable strings, chosen for
+debuggability "in the spirit of HTTP and NNTP"; footnote 2 notes that
+"fixed length integers could be used just as easily if the bandwidth or
+processing power required for handling names is a concern". This module
+implements that option: tokens are interned into a per-message string
+table and the tree structure is byte-coded, typically halving the size
+of realistic names (the exact saving is measured in
+``tests/naming/test_binary.py``).
+
+Two modes:
+
+- **self-contained** — a per-message token table; wins when tokens
+  repeat within one name.
+- **registry** — the footnote's actual suggestion: both endpoints share
+  a :class:`TokenRegistry` (agreed out-of-band, e.g. per application or
+  per vspace), and the message carries only integer indexes. Realistic
+  names shrink to a third of the string form or better.
+
+Layout (mode byte first)::
+
+    0x01                                        -- self-contained
+    varint   token_count
+    token*   { varint length, utf-8 bytes }     -- each distinct token once
+    node*    tree walk, one of:
+               0x01 attr_index value_index      -- enter av-pair
+               0x02                             -- leave av-pair
+    0x00 terminator
+
+    0x02                                        -- registry mode
+    node*    (as above, indexes into the shared registry)
+    0x00 terminator
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .avpair import AVPair
+from .errors import NamingError
+from .specifier import NameSpecifier
+
+_ENTER = 0x01
+_LEAVE = 0x02
+_END = 0x00
+
+_MODE_SELF_CONTAINED = 0x01
+_MODE_REGISTRY = 0x02
+
+
+class BinaryNameError(NamingError):
+    """A compact-encoded name could not be decoded."""
+
+
+class TokenRegistry:
+    """A shared token <-> integer mapping (footnote 2's fixed integers).
+
+    Both endpoints must hold the same registry contents; in a real
+    deployment it would be distributed out-of-band (compiled into the
+    application, or announced once per vspace). ``intern`` assigns ids
+    deterministically in first-seen order, so two registries fed the
+    same token stream agree.
+    """
+
+    def __init__(self) -> None:
+        self._by_token: Dict[str, int] = {}
+        self._by_index: List[str] = []
+
+    def intern(self, token: str) -> int:
+        index = self._by_token.get(token)
+        if index is None:
+            index = len(self._by_index)
+            self._by_token[token] = index
+            self._by_index.append(token)
+        return index
+
+    def token(self, index: int) -> str:
+        if index >= len(self._by_index):
+            raise BinaryNameError(f"token index {index} not in registry")
+        return self._by_index[index]
+
+    def preload(self, tokens) -> "TokenRegistry":
+        for token in tokens:
+            self.intern(token)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._by_index)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise BinaryNameError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 35:
+            raise BinaryNameError("varint too long")
+
+
+def encode_name(name: NameSpecifier, registry: "TokenRegistry" = None) -> bytes:
+    """Serialize ``name``; with a ``registry``, emit indexes only."""
+    if registry is not None:
+        intern = registry.intern
+    else:
+        table: Dict[str, int] = {}
+
+        def intern(token: str) -> int:
+            index = table.get(token)
+            if index is None:
+                index = len(table)
+                table[token] = index
+            return index
+
+    body = bytearray()
+
+    def walk(pair: AVPair) -> None:
+        body.append(_ENTER)
+        _write_varint(body, intern(pair.attribute))
+        _write_varint(body, intern(pair.value))
+        for child in pair.children:
+            walk(child)
+        body.append(_LEAVE)
+
+    for root in name.roots:
+        walk(root)
+    body.append(_END)
+
+    if registry is not None:
+        return bytes([_MODE_REGISTRY]) + bytes(body)
+    out = bytearray([_MODE_SELF_CONTAINED])
+    _write_varint(out, len(table))
+    for token in table:  # dict preserves interning order
+        encoded = token.encode("utf-8")
+        _write_varint(out, len(encoded))
+        out.extend(encoded)
+    out.extend(body)
+    return bytes(out)
+
+
+def decode_name(data: bytes, registry: "TokenRegistry" = None) -> NameSpecifier:
+    """Parse a name produced by :func:`encode_name`.
+
+    Registry-mode messages require the same ``registry`` the sender
+    used.
+    """
+    if not data:
+        raise BinaryNameError("empty buffer")
+    mode = data[0]
+    offset = 1
+    if mode == _MODE_REGISTRY:
+        if registry is None:
+            raise BinaryNameError("registry-mode name but no registry given")
+        token = registry.token
+    elif mode == _MODE_SELF_CONTAINED:
+        count, offset = _read_varint(data, offset)
+        tokens: List[str] = []
+        for _ in range(count):
+            length, offset = _read_varint(data, offset)
+            if offset + length > len(data):
+                raise BinaryNameError("truncated token table")
+            try:
+                tokens.append(data[offset:offset + length].decode("utf-8"))
+            except UnicodeDecodeError as error:
+                raise BinaryNameError(f"bad token bytes: {error}") from error
+            offset += length
+
+        def token(index: int) -> str:
+            if index >= len(tokens):
+                raise BinaryNameError(f"token index {index} out of range")
+            return tokens[index]
+    else:
+        raise BinaryNameError(f"unknown encoding mode {mode:#x}")
+
+    name = NameSpecifier()
+    stack: List[AVPair] = []
+    while True:
+        if offset >= len(data):
+            raise BinaryNameError("missing terminator")
+        opcode = data[offset]
+        offset += 1
+        if opcode == _END:
+            if stack:
+                raise BinaryNameError("unbalanced av-pair nesting")
+            if offset != len(data):
+                raise BinaryNameError("trailing bytes after terminator")
+            return name
+        if opcode == _ENTER:
+            from .parser import MAX_NAME_DEPTH
+
+            if len(stack) >= MAX_NAME_DEPTH:
+                raise BinaryNameError(
+                    f"name deeper than {MAX_NAME_DEPTH} levels"
+                )
+            attribute_index, offset = _read_varint(data, offset)
+            value_index, offset = _read_varint(data, offset)
+            pair = AVPair(token(attribute_index), token(value_index))
+            if stack:
+                stack[-1].add_child(pair)
+            else:
+                name.add_pair(pair)
+            stack.append(pair)
+        elif opcode == _LEAVE:
+            if not stack:
+                raise BinaryNameError("unbalanced av-pair nesting")
+            stack.pop()
+        else:
+            raise BinaryNameError(f"unknown opcode {opcode:#x}")
+
+
+def compression_ratio(name: NameSpecifier, registry: "TokenRegistry" = None) -> float:
+    """Binary size over string size; < 1 means the binary form wins."""
+    string_size = name.wire_size()
+    if string_size == 0:
+        return 1.0
+    return len(encode_name(name, registry)) / string_size

@@ -1,0 +1,212 @@
+"""Name-specifiers: the intentional names of INS (Section 2.1).
+
+A :class:`NameSpecifier` is a hierarchy of av-pairs. Top-level av-pairs
+are orthogonal to each other (e.g. ``city``, ``service`` and
+``accessibility`` in the paper's Figure 2); each av-pair may carry
+dependent children. Clients put name-specifiers in message headers to
+identify message destinations and sources, and services advertise them
+to describe what they provide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from .avpair import AVPair
+from .errors import DuplicateAttributeError, WildcardValueError
+from .operators import is_operator_value
+
+#: The well-known attribute an application uses to declare the virtual
+#: space(s) its names belong to (Section 2.5).
+VSPACE_ATTRIBUTE = "vspace"
+
+#: The virtual space used when an application does not declare one.
+DEFAULT_VSPACE = "default"
+
+_DictValue = Union[str, Tuple[str, "NestedDict"]]
+NestedDict = Mapping[str, _DictValue]
+
+
+class NameSpecifier:
+    """An intentional name: an ordered forest of orthogonal av-pairs."""
+
+    __slots__ = ("_roots",)
+
+    def __init__(self, roots: Optional[List[AVPair]] = None) -> None:
+        self._roots: Dict[str, AVPair] = {}
+        for root in roots or []:
+            self.add_pair(root)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_pair(self, pair: AVPair) -> AVPair:
+        """Attach a top-level av-pair; returns it.
+
+        Raises :class:`DuplicateAttributeError` if the attribute is
+        already classified at the top level.
+        """
+        if pair.attribute in self._roots:
+            raise DuplicateAttributeError(
+                f"top-level av-pair with attribute {pair.attribute!r} "
+                "already present"
+            )
+        self._roots[pair.attribute] = pair
+        return pair
+
+    def add(self, attribute: str, value: str) -> AVPair:
+        """Create and attach a top-level av-pair; returns it."""
+        return self.add_pair(AVPair(attribute, value))
+
+    @classmethod
+    def from_dict(cls, spec: NestedDict) -> "NameSpecifier":
+        """Build a name-specifier from a nested mapping.
+
+        Each key is an attribute; each value is either the value string
+        or a ``(value, children)`` tuple where ``children`` is another
+        mapping of the same shape::
+
+            NameSpecifier.from_dict({
+                "service": ("camera", {"entity": "transmitter", "id": "a"}),
+                "room": "510",
+            })
+        """
+        name = cls()
+        for attribute, described in spec.items():
+            name.add_pair(cls._pair_from_dict(attribute, described))
+        return name
+
+    @staticmethod
+    def _pair_from_dict(attribute: str, described: _DictValue) -> AVPair:
+        if isinstance(described, str):
+            return AVPair(attribute, described)
+        value, children = described
+        pair = AVPair(attribute, value)
+        for child_attribute, child_described in children.items():
+            pair.add_child(
+                NameSpecifier._pair_from_dict(child_attribute, child_described)
+            )
+        return pair
+
+    @classmethod
+    def parse(cls, text: str) -> "NameSpecifier":
+        """Parse the wire representation (Figure 3). See :mod:`.parser`."""
+        from .parser import parse_name_specifier
+
+        return parse_name_specifier(text)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def roots(self) -> Tuple[AVPair, ...]:
+        """The top-level orthogonal av-pairs, in insertion order."""
+        return tuple(self._roots.values())
+
+    def root(self, attribute: str) -> Optional[AVPair]:
+        """The top-level av-pair classifying ``attribute``, or None."""
+        return self._roots.get(attribute)
+
+    def walk(self) -> Iterator[AVPair]:
+        """Yield every av-pair in the name, pre-order."""
+        for pair in self._roots.values():
+            yield from pair.walk()
+
+    def count(self) -> int:
+        """Total number of av-pairs in the name."""
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        """Maximum number of av-pair levels (the paper's ``d``); 0 if empty."""
+        if not self._roots:
+            return 0
+        return max(pair.depth() for pair in self._roots.values())
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty name, which matches everything."""
+        return not self._roots
+
+    def is_concrete(self) -> bool:
+        """True when no value is a wild-card or range operator.
+
+        Only concrete names may be advertised; operators belong in
+        queries (Section 2.2 advertisements describe actual services).
+        """
+        return not any(is_operator_value(pair.value) for pair in self.walk())
+
+    def require_concrete(self) -> "NameSpecifier":
+        """Raise :class:`WildcardValueError` unless concrete; returns self."""
+        for pair in self.walk():
+            if is_operator_value(pair.value):
+                raise WildcardValueError(
+                    f"advertisement value {pair.value!r} for attribute "
+                    f"{pair.attribute!r} is not a concrete literal"
+                )
+        return self
+
+    def vspaces(self) -> Tuple[str, ...]:
+        """The virtual spaces this name declares via the ``vspace``
+        attribute, or ``(DEFAULT_VSPACE,)`` when it declares none.
+
+        A name may belong to multiple vspaces by giving a child list,
+        e.g. ``[vspace=camera-ne43]``; multiple vspace declarations are
+        expressed as dependent children of the first (the top level only
+        permits one ``vspace`` pair because siblings are orthogonal).
+        """
+        declared = self._roots.get(VSPACE_ATTRIBUTE)
+        if declared is None:
+            return (DEFAULT_VSPACE,)
+        names = [declared.value]
+        names.extend(
+            pair.value for pair in declared.walk() if pair is not declared
+        )
+        return tuple(names)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_wire(self, pretty: bool = False) -> str:
+        """Serialize to the bracketed wire representation (Figure 3)."""
+        separator = " " if pretty else ""
+        return separator.join(
+            self._pair_to_wire(pair, pretty) for pair in self._roots.values()
+        )
+
+    @classmethod
+    def _pair_to_wire(cls, pair: AVPair, pretty: bool) -> str:
+        eq = " = " if pretty else "="
+        inner = f"{pair.attribute}{eq}{pair.value}"
+        for child in pair.children:
+            child_text = cls._pair_to_wire(child, pretty)
+            inner += (" " + child_text) if pretty else child_text
+        return f"[{inner}]"
+
+    def wire_size(self) -> int:
+        """Length in bytes of the compact wire representation."""
+        return len(self.to_wire().encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # Equality / hashing (structural, order-insensitive among siblings)
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> tuple:
+        """A hashable key identifying the name up to sibling order."""
+        return tuple(sorted(p.canonical_key() for p in self._roots.values()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NameSpecifier):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def copy(self) -> "NameSpecifier":
+        """A deep copy of the name."""
+        return NameSpecifier([pair.copy() for pair in self._roots.values()])
+
+    def __repr__(self) -> str:
+        return f"NameSpecifier({self.to_wire()!r})"
+
+    def __str__(self) -> str:
+        return self.to_wire()

@@ -1,0 +1,270 @@
+"""Simulated nodes, links and datagram delivery.
+
+The network models exactly what INS relies on from the real world:
+unicast IP datagrams (Section 1: "the only network layer service that we
+rely upon is IP unicast"). Each pair of nodes communicates over a link
+with latency, bandwidth and an optional loss rate; each node owns a
+serial CPU (see :mod:`.cpu`) through which all received messages pass,
+and demultiplexes messages to processes by port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
+
+from .cpu import Cpu
+from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import Process
+
+
+@dataclass
+class LinkStats:
+    """Cumulative traffic counters for one link."""
+
+    messages: int = 0
+    bytes: int = 0
+    drops: int = 0
+
+
+class Link:
+    """A symmetric point-to-point channel between two nodes."""
+
+    __slots__ = ("latency", "bandwidth_bps", "loss_rate", "up", "stats")
+
+    def __init__(
+        self,
+        latency: float,
+        bandwidth_bps: float,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_rate = loss_rate
+        #: False models a partition: every datagram on the link is lost.
+        self.up = True
+        self.stats = LinkStats()
+
+    def transfer_delay(self, size_bytes: int) -> float:
+        """Propagation plus transmission delay for ``size_bytes``."""
+        return self.latency + (size_bytes * 8.0) / self.bandwidth_bps
+
+    def __repr__(self) -> str:
+        return (
+            f"Link(latency={self.latency * 1000:.1f}ms, "
+            f"bandwidth={self.bandwidth_bps / 1e6:.2f}Mbps, "
+            f"loss={self.loss_rate:.3f})"
+        )
+
+
+class Node:
+    """A host: an address, a serial CPU and port-bound processes."""
+
+    def __init__(self, network: "Network", address: str, cpu_speed: float = 1.0) -> None:
+        self.network = network
+        self.address = address
+        self.cpu = Cpu(network.sim, speed=cpu_speed)
+        self._ports: Dict[int, "Process"] = {}
+
+    def bind(self, port: int, process: "Process") -> None:
+        """Attach ``process`` to ``port``; one process per port."""
+        if port in self._ports:
+            raise ValueError(f"port {port} already bound on {self.address}")
+        self._ports[port] = process
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def process_on(self, port: int) -> Optional["Process"]:
+        return self._ports.get(port)
+
+    @property
+    def processes(self) -> Tuple["Process", ...]:
+        return tuple(self._ports.values())
+
+    def __repr__(self) -> str:
+        return f"Node({self.address}, ports={sorted(self._ports)})"
+
+
+class Network:
+    """The datagram fabric connecting simulated nodes.
+
+    Links are created lazily with the network-wide defaults and can be
+    overridden per pair with :meth:`configure_link`. Delivery applies
+    link loss, latency + transmission delay, then the receiving node's
+    CPU cost before the handler runs — the same path every INS message
+    takes in the paper's implementation (NodeListener then processing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        default_latency: float = 0.002,
+        default_bandwidth_bps: float = 1_000_000.0,
+        default_loss_rate: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.default_latency = default_latency
+        self.default_bandwidth_bps = default_bandwidth_bps
+        self.default_loss_rate = default_loss_rate
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        #: per-direction last-arrival times enforcing link FIFO order:
+        #: a small datagram must not overtake a large one sent earlier.
+        self._last_arrival: Dict[Tuple[str, str], float] = {}
+        #: datagrams addressed to hosts that do not exist (e.g. a node
+        #: that moved away); they vanish silently like real UDP.
+        self.undeliverable = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, address: str, cpu_speed: float = 1.0) -> Node:
+        if address in self._nodes:
+            raise ValueError(f"node {address!r} already exists")
+        node = Node(self, address, cpu_speed=cpu_speed)
+        self._nodes[address] = node
+        return node
+
+    def node(self, address: str) -> Node:
+        return self._nodes[address]
+
+    def has_node(self, address: str) -> bool:
+        return address in self._nodes
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    def rename_node(self, old_address: str, new_address: str) -> Node:
+        """Move a node to a new network location (node mobility).
+
+        Datagrams already in flight to the old address are lost, exactly
+        as they would be for a host that changed IP address.
+        """
+        if new_address in self._nodes:
+            raise ValueError(f"node {new_address!r} already exists")
+        node = self._nodes.pop(old_address)
+        node.address = new_address
+        self._nodes[new_address] = node
+        return node
+
+    @staticmethod
+    def _link_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def configure_link(
+        self,
+        a: str,
+        b: str,
+        latency: Optional[float] = None,
+        bandwidth_bps: Optional[float] = None,
+        loss_rate: Optional[float] = None,
+    ) -> Link:
+        """Create or update the link between ``a`` and ``b``."""
+        key = self._link_key(a, b)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(
+                latency if latency is not None else self.default_latency,
+                bandwidth_bps if bandwidth_bps is not None else self.default_bandwidth_bps,
+                loss_rate if loss_rate is not None else self.default_loss_rate,
+            )
+            self._links[key] = link
+            return link
+        if latency is not None:
+            link.latency = latency
+        if bandwidth_bps is not None:
+            link.bandwidth_bps = bandwidth_bps
+        if loss_rate is not None:
+            link.loss_rate = loss_rate
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between ``a`` and ``b``, created lazily."""
+        key = self._link_key(a, b)
+        link = self._links.get(key)
+        if link is None:
+            link = self.configure_link(a, b)
+        return link
+
+    def partition(self, side_a, side_b) -> None:
+        """Cut every link between the two groups of addresses."""
+        for a in side_a:
+            for b in side_b:
+                self.link(a, b).up = False
+
+    def heal(self, side_a, side_b) -> None:
+        """Restore every link between the two groups of addresses."""
+        for a in side_a:
+            for b in side_b:
+                self.link(a, b).up = True
+
+    # ------------------------------------------------------------------
+    # Datagram delivery
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        source: str,
+        destination: str,
+        port: int,
+        payload: Any,
+        size_bytes: int,
+    ) -> None:
+        """Send a datagram; best-effort, like UDP.
+
+        Local delivery (source == destination) skips the link but still
+        pays the receiver's CPU cost.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        if source == destination:
+            self.sim.schedule(
+                0.0, self._deliver, destination, port, payload, source, size_bytes
+            )
+            return
+        link = self.link(source, destination)
+        link.stats.messages += 1
+        link.stats.bytes += size_bytes
+        if not link.up:
+            link.stats.drops += 1
+            return
+        if link.loss_rate > 0 and self.sim.rng.random() < link.loss_rate:
+            link.stats.drops += 1
+            return
+        delay = link.transfer_delay(size_bytes)
+        # FIFO per direction: arrival times on one path never decrease,
+        # so a short datagram cannot overtake a long one sent earlier.
+        direction = (source, destination)
+        arrival = max(self.sim.now + delay, self._last_arrival.get(direction, 0.0))
+        self._last_arrival[direction] = arrival
+        self.sim.at(
+            arrival, self._deliver, destination, port, payload, source, size_bytes
+        )
+
+    def _deliver(
+        self, destination: str, port: int, payload: Any, source: str, size_bytes: int
+    ) -> None:
+        node = self._nodes.get(destination)
+        if node is None:
+            self.undeliverable += 1
+            return
+        process = node.process_on(port)
+        if process is None:
+            self.undeliverable += 1
+            return
+        cost = process.processing_cost(payload, size_bytes)
+        self.delivered += 1
+        node.cpu.execute(cost, lambda: process.handle_message(payload, source))
+
+    def __repr__(self) -> str:
+        return f"Network(nodes={len(self._nodes)}, links={len(self._links)})"

@@ -1,0 +1,175 @@
+"""The process abstraction protocol code runs as.
+
+A :class:`Process` lives on a node, is bound to a port, receives
+datagrams through :meth:`handle_message` (after the node's CPU has
+charged :meth:`processing_cost`), and owns timers. INRs, the DSR,
+services and clients are all processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .network import Network, Node
+from .simulator import Event, Simulator
+
+
+class PeriodicTimer:
+    """A repeating timer with optional multiplicative jitter.
+
+    Jitter desynchronizes periodic protocol traffic (soft-state refresh
+    floods) the way real deployments drift apart; a fraction of 0.1
+    means each period is drawn uniformly from [0.9, 1.1] x interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], None],
+        jitter_fraction: float = 0.0,
+        fire_immediately: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError(f"jitter fraction must be in [0, 1), got {jitter_fraction}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter_fraction = jitter_fraction
+        self._event: Optional[Event] = None
+        self._stopped = False
+        if fire_immediately:
+            self._event = sim.schedule(0.0, self._fire)
+        else:
+            self._schedule_next()
+
+    def _next_delay(self) -> float:
+        if self._jitter_fraction == 0.0:
+            return self.interval
+        spread = self._jitter_fraction * self.interval
+        return self.interval + self._sim.rng.uniform(-spread, spread)
+
+    def _schedule_next(self) -> None:
+        if not self._stopped:
+            self._event = self._sim.schedule(self._next_delay(), self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Cancel the timer; no further firings."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class Process:
+    """Base class for everything that runs on a simulated node."""
+
+    def __init__(self, node: Node, port: int) -> None:
+        self.node = node
+        self.port = port
+        node.bind(port, self)
+        self._timers: list = []
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        return self.node.network
+
+    @property
+    def sim(self) -> Simulator:
+        return self.node.network.sim
+
+    @property
+    def address(self) -> str:
+        """The node's current network address (may change on mobility)."""
+        return self.node.address
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Hook for subclasses: called once the process should go live."""
+
+    def stop(self) -> None:
+        """Cancel timers and unbind from the node's port."""
+        for timer in self._timers:
+            if isinstance(timer, PeriodicTimer):
+                timer.stop()
+            else:
+                timer.cancel()
+        self._timers = []
+        self.node.unbind(self.port)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        destination: str,
+        port: int,
+        payload: Any,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Send a datagram from this node.
+
+        ``size_bytes`` defaults to the payload's ``wire_size()`` when it
+        provides one, else zero (pure control messages in tests).
+        """
+        if size_bytes is None:
+            sizer = getattr(payload, "wire_size", None)
+            size_bytes = int(sizer()) if callable(sizer) else 0
+        self.network.send(self.address, destination, port, payload, size_bytes)
+
+    def processing_cost(self, payload: Any, size_bytes: int) -> float:
+        """CPU seconds charged before :meth:`handle_message` runs."""
+        return 0.0
+
+    def handle_message(self, payload: Any, source: str) -> None:
+        """Receive a datagram; subclasses override."""
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """One-shot timer; returns the cancellable event."""
+        event = self.sim.schedule(delay, callback, *args)
+        self._timers.append(event)
+        return event
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter_fraction: float = 0.0,
+        fire_immediately: bool = False,
+    ) -> PeriodicTimer:
+        """Repeating timer; returns it for :meth:`PeriodicTimer.stop`."""
+        timer = PeriodicTimer(
+            self.sim,
+            interval,
+            callback,
+            jitter_fraction=jitter_fraction,
+            fire_immediately=fire_immediately,
+        )
+        self._timers.append(timer)
+        return timer
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(node={self.address}, port={self.port})"

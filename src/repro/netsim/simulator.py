@@ -1,0 +1,145 @@
+"""A deterministic discrete-event simulator.
+
+This is the substrate standing in for the paper's testbed (Pentium II
+machines on 1-5 Mbps wireless links). Virtual time advances only when
+events fire, so experiments are repeatable and independent of host
+speed; all protocol code runs unmodified on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, {state}, {self.callback!r})"
+
+
+class Simulator:
+    """Event loop with virtual time and a seeded RNG.
+
+    The RNG is owned by the simulator so every random decision in an
+    experiment (loss, workload generation, jitter) derives from one
+    seed, making whole-system runs reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now = 0.0
+        self.rng = random.Random(seed)
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self.now + delay, callback, *args)
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Run ``callback(*args)`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        event = Event(time, next(self._sequence), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event; False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Drain the event queue.
+
+        ``until`` bounds virtual time (events after it stay queued and
+        ``now`` advances exactly to ``until``); ``max_events`` bounds
+        the number of callbacks fired, as a runaway guard in tests.
+
+        Foot-gun warning: a :class:`~repro.netsim.process.PeriodicTimer`
+        reschedules itself forever, so an unbounded ``run()`` over any
+        system with periodic protocol activity (an INR, the DSR, a
+        Service) never returns. Use ``until=`` / :meth:`run_for` there;
+        plain ``run()`` is for event sets that naturally drain.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self.now = max(self.now, until)
+                return
+            if not self.step():
+                break
+            fired += 1
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by ``duration`` seconds."""
+        self.run(until=self.now + duration)
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks fired since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (including cancelled tombstones)."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

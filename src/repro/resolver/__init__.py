@@ -1,0 +1,55 @@
+"""Intentional Name Resolvers and their protocols (Section 2)."""
+
+from .cache import CacheEntry, PacketCache
+from .config import InrConfig
+from .costs import DEFAULT_COSTS, CostModel
+from .inr import INR, InrStats
+from .loadbalance import LoadMonitor, LoadSample
+from .neighbors import Neighbor, NeighborTable
+from .ports import DSR_PORT, EPHEMERAL_BASE, INR_PORT, PortAllocator
+from .protocol import (
+    Advertisement,
+    DataPacket,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    NameUpdate,
+    PeerAccept,
+    PeerGoodbye,
+    PeerRequest,
+    PingRequest,
+    PingResponse,
+    ResolutionRequest,
+    ResolutionResponse,
+    UpdateBatch,
+)
+
+__all__ = [
+    "Advertisement",
+    "CacheEntry",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DSR_PORT",
+    "DataPacket",
+    "DiscoveryRequest",
+    "DiscoveryResponse",
+    "EPHEMERAL_BASE",
+    "INR",
+    "INR_PORT",
+    "InrConfig",
+    "InrStats",
+    "LoadMonitor",
+    "LoadSample",
+    "NameUpdate",
+    "Neighbor",
+    "NeighborTable",
+    "PacketCache",
+    "PeerAccept",
+    "PeerGoodbye",
+    "PeerRequest",
+    "PingRequest",
+    "PingResponse",
+    "PortAllocator",
+    "ResolutionRequest",
+    "ResolutionResponse",
+    "UpdateBatch",
+]

@@ -1,0 +1,88 @@
+"""Tunable parameters of an INR.
+
+Defaults follow the paper where it gives numbers (15-second refresh
+interval in the Figure 8/9/15 experiments; soft-state lifetimes are three
+refresh periods, the conventional soft-state rule that tolerates two
+consecutive lost refreshes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class InrConfig:
+    """Configuration knobs for one INR (all times in seconds)."""
+
+    #: Interval between periodic update batches to neighbors and between
+    #: a service's re-advertisements. The paper's experiments use 15 s.
+    refresh_interval: float = 15.0
+
+    #: Soft-state lifetime granted to names on insert/refresh.
+    record_lifetime: float = 45.0
+
+    #: How often the expiry sweep runs.
+    expiry_sweep_interval: float = 5.0
+
+    #: Heartbeat interval to the DSR.
+    heartbeat_interval: float = 10.0
+
+    #: A neighbor silent for this long is declared dead.
+    neighbor_timeout: float = 50.0
+
+    #: Jitter fraction applied to periodic timers so resolver timers do
+    #: not phase-lock.
+    timer_jitter: float = 0.05
+
+    #: How long to wait for INR-ping responses while joining before
+    #: picking the best peer among those that answered.
+    join_ping_timeout: float = 0.5
+
+    #: --- Load balancing (Section 2.5) --------------------------------
+    #: Enable spawn/terminate decisions.
+    enable_load_balancing: bool = False
+
+    #: Lookups per second above which an INR tries to spawn a helper.
+    spawn_lookup_rate: float = 400.0
+
+    #: Update names per second above which a vspace is delegated.
+    delegate_update_rate: float = 600.0
+
+    #: Lookup rate below which a spawned INR terminates itself.
+    terminate_lookup_rate: float = 1.0
+
+    #: Seconds between load-policy evaluations.
+    load_check_interval: float = 10.0
+
+    #: A freshly spawned INR will not self-terminate before this age.
+    minimum_lifetime: float = 30.0
+
+    #: --- Overlay relaxation (extension; Section 2.4 future work) -----
+    #: Periodically re-evaluate the parent peering and switch to a
+    #: lower-RTT earlier-ordered INR when the improvement is large.
+    enable_relaxation: bool = False
+
+    #: Seconds between relaxation probes.
+    relaxation_interval: float = 30.0
+
+    #: Required multiplicative improvement before switching parents
+    #: (hysteresis so the tree does not flap).
+    relaxation_improvement: float = 0.8
+
+    #: Maximum entries in the vspace -> resolver cache.
+    vspace_cache_size: int = 32
+
+    #: Maximum entries in the data-packet cache (0 disables caching).
+    packet_cache_size: int = 128
+
+    #: --- Inter-INR update transport (footnote 3) ---------------------
+    #: "soft-state": the paper's shipped design — periodic re-floods of
+    #: every name plus triggered updates, names expire by lifetime.
+    #: "reliable-delta": TCP-like per-neighbor connections carrying only
+    #: changed entries and explicit withdrawals; periodic messages
+    #: shrink to empty keepalives.
+    update_mode: str = "soft-state"
+
+    #: Retransmission timeout of the reliable channel.
+    reliable_retransmit_timeout: float = 1.0

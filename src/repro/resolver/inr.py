@@ -1,0 +1,1067 @@
+"""The Intentional Name Resolver (Sections 2, 2.2-2.5).
+
+An INR integrates name resolution with message routing. It keeps one
+name-tree per virtual space it routes, discovers names through
+soft-state periodic and triggered updates exchanged with its overlay
+neighbors, answers early-binding and discovery queries, and forwards
+late-binding data messages by intentional anycast or multicast.
+
+Self-configuration (Section 2.4): a starting INR asks the DSR for the
+active list, INR-pings each active resolver, and peers with the one
+with the minimum round-trip metric — by construction the overlay is a
+spanning tree. Load balancing (Section 2.5): an INR that is
+lookup-overloaded spawns a helper on a candidate node; one that is
+update-overloaded delegates a virtual space to a freshly spawned INR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..message import Binding, Delivery, InsMessage
+from ..naming import NameSpecifier
+from ..nametree import Endpoint, NameRecord, NameTree, Route
+from ..netsim import Node, Process
+from ..overlay.protocol import (
+    DsrClaimCandidate,
+    DsrClaimResponse,
+    DsrDeregister,
+    DsrHeartbeat,
+    DsrListRequest,
+    DsrListResponse,
+    DsrRegisterActive,
+    DsrRegisterCandidate,
+    DsrVspaceRequest,
+    DsrVspaceResponse,
+)
+from .cache import PacketCache
+from .config import InrConfig
+from .costs import DEFAULT_COSTS, CostModel
+from .loadbalance import LoadMonitor
+from .neighbors import NeighborTable
+from .ports import DSR_PORT, INR_PORT
+from .protocol import (
+    Advertisement,
+    DataPacket,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    NameUpdate,
+    NameWithdraw,
+    PeerAccept,
+    PeerGoodbye,
+    PeerRequest,
+    PingRequest,
+    PingResponse,
+    ResolutionRequest,
+    ResolutionResponse,
+    UpdateBatch,
+)
+from .reliable import ReliableAck, ReliableChannel, ReliableFrame
+
+#: The probe name INR-pings carry: small, as the paper describes.
+_PING_PROBE = NameSpecifier.from_dict({"service": "inr-ping"})
+
+
+@dataclass
+class InrStats:
+    """Operation counters exposed for experiments and tests."""
+
+    lookups: int = 0
+    update_names_processed: int = 0
+    advertisements_processed: int = 0
+    packets_delivered_locally: int = 0
+    packets_forwarded: int = 0
+    packets_forwarded_foreign_vspace: int = 0
+    packets_dropped: int = 0
+    packets_answered_from_cache: int = 0
+    triggered_updates_sent: int = 0
+    periodic_updates_sent: int = 0
+    queries_served: int = 0
+
+
+@dataclass
+class _PendingPing:
+    address: str
+    sent_at: float
+    purpose: str
+
+
+class INR(Process):
+    """One Intentional Name Resolver process.
+
+    ``spawner`` is the hook through which load balancing creates a new
+    INR on a candidate node: ``spawner(candidate_address, vspaces)``
+    must instantiate and start an INR there. Experiments provide it; if
+    absent, spawn/delegate decisions are skipped.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        dsr_address: Optional[str] = None,
+        vspaces: Tuple[str, ...] = ("default",),
+        config: Optional[InrConfig] = None,
+        costs: Optional[CostModel] = None,
+        spawner: Optional[Callable[[str, Tuple[str, ...]], "INR"]] = None,
+        was_spawned: bool = False,
+    ) -> None:
+        super().__init__(node, INR_PORT)
+        self.config = config or InrConfig()
+        self.costs = costs or DEFAULT_COSTS
+        self.dsr_address = dsr_address
+        self.spawner = spawner
+        self.was_spawned = was_spawned
+        self.trees: Dict[str, NameTree] = {v: NameTree(vspace=v) for v in vspaces}
+        self.neighbors = NeighborTable()
+        self.monitor = LoadMonitor()
+        self.stats = InrStats()
+        self.cache = (
+            PacketCache(self.config.packet_cache_size)
+            if self.config.packet_cache_size > 0
+            else None
+        )
+        self.active = False
+        self._started_at = 0.0
+        self._terminated = False
+        # Bootstrap / ping state
+        self._pending_pings: Dict[int, _PendingPing] = {}
+        self._join_rtts: Dict[str, float] = {}
+        self._join_attempts = 0
+        self._joining = False
+        self._earlier_inrs: Tuple[str, ...] = ()
+        # vspace -> resolver cache plus payloads parked on a DSR answer
+        self._vspace_cache: Dict[str, str] = {}
+        self._vspace_waiting: Dict[str, List[object]] = {}
+        self._spawn_pending = False
+        self._termination_votes: Optional[Dict[str, Optional[bool]]] = None
+        self._pending_peer: Optional[str] = None
+        self._peer_attempts = 0
+        if self.config.update_mode not in ("soft-state", "reliable-delta"):
+            raise ValueError(
+                f"unknown update mode: {self.config.update_mode!r}"
+            )
+        self._reliable: Optional[ReliableChannel] = None
+        if self.config.update_mode == "reliable-delta":
+            self._reliable = ReliableChannel(
+                transmit=lambda neighbor, payload: self.send(
+                    neighbor, INR_PORT, payload
+                ),
+                deliver=self._deliver_reliable,
+                set_timer=self.set_timer,
+                retransmit_timeout=self.config.reliable_retransmit_timeout,
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Join the overlay and begin periodic protocol activity."""
+        self._started_at = self.now
+        jitter = self.config.timer_jitter
+        self.every(self.config.refresh_interval, self._send_periodic_updates, jitter)
+        self.every(self.config.expiry_sweep_interval, self._sweep, jitter)
+        if self.dsr_address is not None:
+            self.every(self.config.heartbeat_interval, self._heartbeat, jitter)
+            if self.config.enable_load_balancing:
+                self.every(self.config.load_check_interval, self._check_load, jitter)
+            if self.config.enable_relaxation:
+                self.every(self.config.relaxation_interval, self._relax, jitter)
+            self._begin_join()
+        else:
+            self.active = True
+
+    def terminate(self) -> None:
+        """Leave the overlay: tell peers and the DSR, then stop."""
+        if self._terminated:
+            return
+        self._terminated = True
+        for neighbor in self.neighbors:
+            self.send(neighbor.address, INR_PORT, PeerGoodbye(self.address))
+        if self.dsr_address is not None:
+            self.send(self.dsr_address, DSR_PORT, DsrDeregister(self.address))
+            if self.was_spawned:
+                # A retiring helper returns its node to the candidate
+                # pool so a later overload can spawn onto it again.
+                self.send(
+                    self.dsr_address,
+                    DSR_PORT,
+                    DsrRegisterCandidate(self.address),
+                )
+        self.stop()
+
+    def crash(self) -> None:
+        """Fail silently: no goodbye, no deregistration (for fault
+        injection). Peers and the DSR recover through soft state."""
+        self._terminated = True
+        self.stop()
+
+    @property
+    def vspaces(self) -> Tuple[str, ...]:
+        return tuple(self.trees)
+
+    def routes_vspace(self, vspace: str) -> bool:
+        return vspace in self.trees
+
+    def name_count(self, vspace: Optional[str] = None) -> int:
+        """Live names in one vspace, or across all of them."""
+        if vspace is not None:
+            tree = self.trees.get(vspace)
+            return len(tree) if tree is not None else 0
+        return sum(len(tree) for tree in self.trees.values())
+
+    # ------------------------------------------------------------------
+    # CPU cost model hook
+    # ------------------------------------------------------------------
+    def processing_cost(self, payload: object, size_bytes: int) -> float:
+        costs = self.costs
+        if isinstance(payload, ReliableFrame):
+            payload = payload.inner  # charge for the carried update
+        if isinstance(payload, UpdateBatch):
+            return costs.update_batch(len(payload.updates))
+        if isinstance(payload, NameWithdraw):
+            return costs.receive + costs.update_per_name
+        if isinstance(payload, Advertisement):
+            return costs.receive + costs.update_per_name
+        if isinstance(payload, (ResolutionRequest, DiscoveryRequest)):
+            return costs.query
+        if isinstance(payload, PingRequest):
+            return costs.ping
+        return costs.receive
+
+    def _work(self, cost: float, continuation: Callable[[], None]) -> None:
+        """Charge ``cost`` CPU seconds, then run ``continuation``."""
+        self.node.cpu.execute(cost, continuation)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, payload: object, source: str) -> None:
+        if self._terminated:
+            return
+        self.neighbors.heard_from(source, self.now)
+        if isinstance(payload, ReliableFrame):
+            if self._reliable is not None:
+                ack = self._reliable.on_frame(source, payload)
+                if ack is not None:
+                    self.send(source, INR_PORT, ack)
+            return
+        if isinstance(payload, ReliableAck):
+            if self._reliable is not None:
+                self._reliable.on_ack(source, payload)
+            return
+        if isinstance(payload, NameWithdraw):
+            self._handle_withdraw(payload, source)
+        elif isinstance(payload, UpdateBatch):
+            self._handle_update_batch(payload)
+        elif isinstance(payload, Advertisement):
+            self._handle_advertisement(payload, source)
+        elif isinstance(payload, DataPacket):
+            self._handle_data(payload, source)
+        elif isinstance(payload, ResolutionRequest):
+            self._handle_resolution(payload)
+        elif isinstance(payload, DiscoveryRequest):
+            self._handle_discovery(payload)
+        elif isinstance(payload, PingRequest):
+            self.send(
+                payload.reply_to,
+                payload.reply_port,
+                PingResponse(token=payload.token, responder=self.address),
+            )
+        elif isinstance(payload, PingResponse):
+            self._handle_ping_response(payload)
+        elif isinstance(payload, PeerRequest):
+            self._handle_peer_request(payload)
+        elif isinstance(payload, PeerAccept):
+            self.neighbors.heard_from(payload.accepter, self.now)
+            if payload.accepter == self._pending_peer:
+                self._pending_peer = None
+        elif isinstance(payload, PeerGoodbye):
+            self._drop_neighbor(payload.sender, rejoin=True)
+        elif isinstance(payload, DsrListResponse):
+            self._handle_dsr_list(payload)
+        elif isinstance(payload, DsrVspaceResponse):
+            self._handle_vspace_response(payload)
+        elif isinstance(payload, DsrClaimResponse):
+            self._handle_claim_response(payload)
+
+    # ------------------------------------------------------------------
+    # Overlay self-configuration (Section 2.4)
+    # ------------------------------------------------------------------
+    def _begin_join(self) -> None:
+        self._joining = True
+        self._join_rtts = {}
+        self._join_attempts += 1
+        self._join_epoch = getattr(self, "_join_epoch", 0) + 1
+        self._join_list_seen = False
+        self.send(
+            self.dsr_address,
+            DSR_PORT,
+            DsrListRequest(reply_to=self.address, reply_port=self.port),
+        )
+        # Watchdog: on a lossy link the DSR's answer may never arrive;
+        # a join attempt must not hang forever (robustness, goal iii).
+        self.set_timer(2.0, self._join_watchdog, self._join_epoch)
+
+    def _join_watchdog(self, epoch: int) -> None:
+        if not self._joining or epoch != self._join_epoch:
+            return
+        if self._join_list_seen:
+            return  # the per-ping timeout path is already in control
+        if self._join_attempts < 5:
+            self._begin_join()
+        else:
+            # Give up for now; the expiry sweep's lonely-overlay check
+            # keeps retrying in the background.
+            self._finish_join(peer=None)
+
+    def _handle_dsr_list(self, response: DsrListResponse) -> None:
+        if self._joining:
+            self._join_list_seen = True
+            others = tuple(a for a in response.active if a != self.address)
+            if self.address in response.active:
+                prefix = response.active[: response.active.index(self.address)]
+                self._earlier_inrs = prefix
+            else:
+                self._earlier_inrs = others
+            if not others:
+                self._finish_join(peer=None)
+                return
+            for address in others:
+                self._ping(address, purpose="join")
+            self.set_timer(self.config.join_ping_timeout, self._pick_join_peer)
+            return
+        # A list response outside a join: relaxation probing.
+        self._relax_with_list(response)
+
+    def _pick_join_peer(self) -> None:
+        if not self._joining:
+            return
+        if not self._join_rtts:
+            if self._join_attempts < 3:
+                self.set_timer(1.0, self._begin_join)
+            else:
+                # No resolver answered: proceed alone; soft state heals
+                # the overlay when connectivity returns.
+                self._finish_join(peer=None)
+            return
+        peer = min(self._join_rtts, key=lambda a: (self._join_rtts[a], a))
+        self._finish_join(peer=peer, rtt=self._join_rtts[peer])
+
+    def _finish_join(self, peer: Optional[str], rtt: float = 0.0) -> None:
+        self._joining = False
+        if peer is not None:
+            self._join_attempts = 0
+            self._request_peering(peer, rtt)
+        self.active = True
+        self._register()
+
+    def _request_peering(self, peer: str, rtt: float) -> None:
+        """Establish (or re-establish) the parent peering.
+
+        The request is retried until the peer's accept arrives — on
+        lossy wireless links a single lost datagram must not strand an
+        INR outside the overlay (design goal iii, robustness).
+        """
+        self.neighbors.add(peer, rtt=rtt, is_parent=True)
+        self._pending_peer = peer
+        self._peer_attempts = 0
+        self._send_peer_request(peer, rtt)
+
+    def _send_peer_request(self, peer: str, rtt: float) -> None:
+        if self._pending_peer != peer:
+            return
+        self._peer_attempts += 1
+        if self._peer_attempts > 5:
+            self._pending_peer = None
+            self._begin_join()
+            return
+        self.send(peer, INR_PORT, PeerRequest(self.address, measured_rtt=rtt))
+        self._send_full_table(peer)
+        self.set_timer(1.0, self._send_peer_request, peer, rtt)
+
+    def _register(self) -> None:
+        if self.dsr_address is not None:
+            self.send(
+                self.dsr_address,
+                DSR_PORT,
+                DsrRegisterActive(self.address, self.vspaces),
+            )
+
+    def _heartbeat(self) -> None:
+        if self.active:
+            self.send(
+                self.dsr_address,
+                DSR_PORT,
+                DsrHeartbeat(self.address, self.vspaces),
+            )
+
+    def _handle_peer_request(self, request: PeerRequest) -> None:
+        self.neighbors.add(request.requester, rtt=request.measured_rtt)
+        self.neighbors.heard_from(request.requester, self.now)
+        self.send(request.requester, INR_PORT, PeerAccept(self.address))
+        self._send_full_table(request.requester)
+
+    def _drop_neighbor(self, address: str, rejoin: bool) -> None:
+        neighbor = self.neighbors.remove(address)
+        if neighbor is None:
+            return
+        self._flush_routes_via(address)
+        if neighbor.is_parent and rejoin and self.dsr_address is not None:
+            self._begin_join()
+
+    def _flush_routes_via(self, address: str) -> None:
+        """Remove records learned through a dead neighbor immediately.
+
+        Soft state would expire them anyway; flushing now restores
+        responsiveness, and periodic updates from live neighbors
+        re-install any name still reachable another way. In
+        reliable-delta mode there are no periodic re-floods, so the
+        flush is also propagated as withdrawals downstream.
+        """
+        if self._reliable is not None:
+            self._reliable.reset(address)
+        for tree in self.trees.values():
+            for record in list(tree.records()):
+                if record.route.next_hop == address:
+                    tree.remove(record)
+                    if self._reliable is not None:
+                        self._propagate_withdraw(
+                            record.announcer, tree.vspace, exclude=address
+                        )
+
+    # ------------------------------------------------------------------
+    # INR-pings
+    # ------------------------------------------------------------------
+    def _ping(self, address: str, purpose: str) -> None:
+        request = PingRequest(
+            probe=_PING_PROBE, reply_to=self.address, reply_port=self.port
+        )
+        self._pending_pings[request.token] = _PendingPing(
+            address=address, sent_at=self.now, purpose=purpose
+        )
+        self.send(address, INR_PORT, request)
+
+    def _handle_ping_response(self, response: PingResponse) -> None:
+        pending = self._pending_pings.pop(response.token, None)
+        if pending is None:
+            return
+        rtt = self.now - pending.sent_at
+        if pending.purpose == "join":
+            self._join_rtts[pending.address] = rtt
+        elif pending.purpose == "parent-refresh":
+            # Relaxation re-measures the parent link so a degraded path
+            # is seen at its current cost, not its historical best.
+            neighbor = self.neighbors.get(pending.address)
+            if neighbor is not None:
+                neighbor.rtt = rtt
+            return
+        elif pending.purpose == "relax":
+            self._maybe_switch_parent(pending.address, rtt)
+        neighbor = self.neighbors.get(pending.address)
+        if neighbor is not None:
+            neighbor.rtt = min(neighbor.rtt, rtt)
+
+    # ------------------------------------------------------------------
+    # Overlay relaxation (extension: Section 2.4 future work)
+    # ------------------------------------------------------------------
+    def _relax(self) -> None:
+        parent = self.neighbors.parent
+        if self.active and parent is not None:
+            self._ping(parent.address, purpose="parent-refresh")
+            self.send(
+                self.dsr_address,
+                DSR_PORT,
+                DsrListRequest(reply_to=self.address, reply_port=self.port),
+            )
+
+    def _relax_with_list(self, response: DsrListResponse) -> None:
+        if self.address in response.active:
+            self._earlier_inrs = response.active[
+                : response.active.index(self.address)
+            ]
+        parent = self.neighbors.parent
+        if parent is None or not self._earlier_inrs:
+            return
+        candidates = [
+            a
+            for a in self._earlier_inrs
+            if a != parent.address and a not in self.neighbors
+        ]
+        if not candidates:
+            return
+        probe = self.sim.rng.choice(candidates)
+        self._ping(probe, purpose="relax")
+
+    def _maybe_switch_parent(self, candidate: str, rtt: float) -> None:
+        parent = self.neighbors.parent
+        if parent is None or candidate == parent.address:
+            return
+        if rtt >= parent.rtt * self.config.relaxation_improvement:
+            return
+        # Better parent found: swap the tree edge. Only earlier-ordered
+        # INRs are probed, so the topology remains acyclic.
+        self.send(parent.address, INR_PORT, PeerGoodbye(self.address))
+        self.neighbors.remove(parent.address)
+        self._flush_routes_via(parent.address)
+        self._request_peering(candidate, rtt)
+
+    # ------------------------------------------------------------------
+    # Name discovery protocol (Section 2.2)
+    # ------------------------------------------------------------------
+    def _handle_advertisement(self, ad: Advertisement, source: str) -> None:
+        self.stats.advertisements_processed += 1
+        self.monitor.count_update_names(1)
+        changed: List[Tuple[str, NameSpecifier, NameRecord]] = []
+        for vspace in ad.name.vspaces():
+            tree = self.trees.get(vspace)
+            if tree is None:
+                self._forward_foreign_payload(vspace, ad)
+                continue
+            endpoints = ad.endpoints or (Endpoint(host=source),)
+            record = NameRecord(
+                announcer=ad.announcer,
+                endpoints=list(endpoints),
+                anycast_metric=ad.anycast_metric,
+                route=Route(next_hop=None, metric=0.0),
+                expires_at=self.now + ad.lifetime,
+            )
+            outcome = tree.insert(ad.name, record)
+            if outcome.changed:
+                changed.append((vspace, ad.name, outcome.record))
+        if changed:
+            self._send_triggered(changed, exclude=None)
+
+    def _deliver_reliable(self, neighbor: str, payload: object) -> None:
+        """In-order application delivery from the reliable channel."""
+        if isinstance(payload, UpdateBatch):
+            self._handle_update_batch(payload)
+        elif isinstance(payload, NameWithdraw):
+            self._handle_withdraw(payload, neighbor)
+
+    def _handle_withdraw(self, withdraw: NameWithdraw, source: str) -> None:
+        """Explicit name removal (reliable-delta mode)."""
+        tree = self.trees.get(withdraw.vspace)
+        if tree is None:
+            return
+        record = tree.record_for(withdraw.announcer)
+        if record is None or record.route.is_local:
+            return
+        if record.route.next_hop != source:
+            return  # only the route's source may withdraw it
+        tree.remove(record)
+        self._propagate_withdraw(withdraw.announcer, withdraw.vspace,
+                                 exclude=source)
+
+    def _propagate_withdraw(self, announcer, vspace: str,
+                            exclude: Optional[str]) -> None:
+        for neighbor in self.neighbors:
+            if neighbor.address == exclude:
+                continue
+            self._send_control(
+                neighbor.address,
+                NameWithdraw(sender=self.address, announcer=announcer,
+                             vspace=vspace),
+            )
+
+    def _send_control(self, neighbor_address: str, payload: object) -> None:
+        """Send a name-state message to a neighbor on the configured
+        transport (raw datagram, or the reliable channel)."""
+        if self._reliable is not None:
+            self._reliable.send(neighbor_address, payload)
+        else:
+            self.send(neighbor_address, INR_PORT, payload)
+
+    def _handle_update_batch(self, batch: UpdateBatch) -> None:
+        self.monitor.count_update_names(len(batch.updates))
+        self.stats.update_names_processed += len(batch.updates)
+        link_rtt = self.neighbors.rtt_to(batch.sender)
+        changed: List[Tuple[str, NameSpecifier, NameRecord]] = []
+        for update in batch.updates:
+            tree = self.trees.get(update.vspace)
+            if tree is None:
+                continue
+            if self._apply_update(tree, update, batch.sender, link_rtt):
+                record = tree.record_for(update.announcer)
+                if record is not None:
+                    changed.append((update.vspace, update.name, record))
+        if changed:
+            self._send_triggered(changed, exclude=batch.sender)
+
+    def _apply_update(
+        self, tree: NameTree, update: NameUpdate, sender: str, link_rtt: float
+    ) -> bool:
+        """Distributed Bellman-Ford acceptance; True when state changed
+        in a way neighbors should hear about."""
+        new_metric = update.route_metric + link_rtt
+        existing = tree.record_for(update.announcer)
+        incoming = NameRecord(
+            announcer=update.announcer,
+            endpoints=list(update.endpoints),
+            anycast_metric=update.anycast_metric,
+            route=Route(next_hop=sender, metric=new_metric),
+            expires_at=self.now + update.lifetime,
+        )
+        if existing is None:
+            tree.insert(update.name, incoming)
+            return True
+        if existing.route.is_local:
+            # Never let a reflected update displace a directly-attached
+            # service; the local announcement is authoritative.
+            return False
+        if existing.route.next_hop == sender:
+            # News from the current next hop is always accepted, even if
+            # the metric worsened (standard distance-vector rule).
+            outcome = tree.insert(update.name, incoming)
+            return outcome.changed
+        if new_metric < existing.route.metric:
+            outcome = tree.insert(update.name, incoming)
+            return outcome.changed
+        return False
+
+    def _updates_for(
+        self,
+        entries: List[Tuple[str, NameSpecifier, NameRecord]],
+        neighbor_address: str,
+    ) -> List[NameUpdate]:
+        updates = []
+        for vspace, name, record in entries:
+            if record.route.next_hop == neighbor_address:
+                continue  # split horizon: never echo a route to its source
+            updates.append(
+                NameUpdate(
+                    name=name,
+                    announcer=record.announcer,
+                    endpoints=tuple(record.endpoints),
+                    anycast_metric=record.anycast_metric,
+                    route_metric=record.route.metric,
+                    # Reliable-delta entries are hard state: they live
+                    # until withdrawn or their neighbor dies.
+                    lifetime=(
+                        1e12 if self._reliable is not None
+                        else self.config.record_lifetime
+                    ),
+                    vspace=vspace,
+                )
+            )
+        return updates
+
+    def _all_entries(self) -> List[Tuple[str, NameSpecifier, NameRecord]]:
+        entries = []
+        for vspace, tree in self.trees.items():
+            for name, record in tree.names():
+                entries.append((vspace, name, record))
+        return entries
+
+    def _send_periodic_updates(self) -> None:
+        if not self.active or self._terminated:
+            return
+        if self._reliable is not None:
+            # Reliable-delta mode: names moved when they changed; the
+            # periodic message degenerates to an empty keepalive that
+            # feeds the neighbor liveness timeout.
+            for neighbor in self.neighbors:
+                self.send(
+                    neighbor.address,
+                    INR_PORT,
+                    UpdateBatch(self.address, [], triggered=False),
+                )
+                self.stats.periodic_updates_sent += 1
+            return
+        entries = self._all_entries()
+        for neighbor in self.neighbors:
+            updates = self._updates_for(entries, neighbor.address)
+            self.send(
+                neighbor.address,
+                INR_PORT,
+                UpdateBatch(self.address, updates, triggered=False),
+            )
+            self.stats.periodic_updates_sent += 1
+
+    def _send_triggered(
+        self,
+        entries: List[Tuple[str, NameSpecifier, NameRecord]],
+        exclude: Optional[str],
+    ) -> None:
+        for neighbor in self.neighbors:
+            if neighbor.address == exclude:
+                continue
+            updates = self._updates_for(entries, neighbor.address)
+            if not updates:
+                continue
+            self._send_control(
+                neighbor.address,
+                UpdateBatch(self.address, updates, triggered=True),
+            )
+            self.stats.triggered_updates_sent += 1
+
+    def _send_full_table(self, neighbor_address: str) -> None:
+        entries = self._all_entries()
+        updates = self._updates_for(entries, neighbor_address)
+        self._send_control(
+            neighbor_address,
+            UpdateBatch(self.address, updates, triggered=True),
+        )
+
+    def _sweep(self) -> None:
+        for tree in self.trees.values():
+            expired = tree.expire(self.now)
+            if self._reliable is not None:
+                # Explicitly withdraw locally announced names that died
+                # (the service stopped refreshing its advertisement).
+                for record in expired:
+                    if record.route.is_local:
+                        self._propagate_withdraw(
+                            record.announcer, tree.vspace, exclude=None
+                        )
+        cutoff = self.now - self.config.neighbor_timeout
+        for neighbor in self.neighbors.silent_since(cutoff):
+            self._drop_neighbor(neighbor.address, rejoin=True)
+        if (
+            self.active
+            and not self._terminated
+            and len(self.neighbors) == 0
+            and self.dsr_address is not None
+            and not self._joining
+            and self._pending_peer is None
+        ):
+            # A lonely resolver (lost handshakes, dead peers) keeps
+            # trying to rejoin the overlay; if it really is the only
+            # INR in the domain this is a cheap no-op.
+            self._begin_join()
+
+    # ------------------------------------------------------------------
+    # Early binding and discovery queries
+    # ------------------------------------------------------------------
+    def _handle_resolution(self, request: ResolutionRequest) -> None:
+        vspace = request.name.vspaces()[0]
+        tree = self.trees.get(vspace)
+        if tree is None:
+            self._forward_foreign_payload(vspace, request)
+            return
+        self.monitor.count_lookup()
+        self.stats.lookups += 1
+        self.stats.queries_served += 1
+        bindings = []
+        for record in tree.lookup(request.name):
+            for endpoint in record.endpoints:
+                bindings.append((endpoint, record.anycast_metric))
+        bindings.sort(key=lambda pair: (pair[1], pair[0]))
+        self.send(
+            request.reply_to,
+            request.reply_port,
+            ResolutionResponse(request_id=request.request_id, bindings=bindings),
+        )
+
+    def _handle_discovery(self, request: DiscoveryRequest) -> None:
+        from ..naming import VSPACE_ATTRIBUTE
+
+        if request.filter.root(VSPACE_ATTRIBUTE) is not None:
+            # An explicit vspace constrains the search — and may need
+            # forwarding to the resolver that routes it.
+            vspace = request.filter.vspaces()[0]
+            tree = self.trees.get(vspace)
+            if tree is None:
+                self._forward_foreign_payload(vspace, request)
+                return
+            searched = [tree]
+        else:
+            # Section 2.2: a discovery message matches against "all the
+            # names it knows about" — every vspace this INR routes.
+            searched = list(self.trees.values())
+        self.monitor.count_lookup()
+        self.stats.lookups += 1
+        self.stats.queries_served += 1
+        names = []
+        for tree in searched:
+            names.extend(
+                (tree.get_name(record), record.anycast_metric)
+                for record in tree.lookup(request.filter)
+            )
+        names.sort(key=lambda pair: pair[0].to_wire())
+        self.send(
+            request.reply_to,
+            request.reply_port,
+            DiscoveryResponse(request_id=request.request_id, names=names),
+        )
+
+    # ------------------------------------------------------------------
+    # The forwarding agent: late binding (Section 2.3)
+    # ------------------------------------------------------------------
+    def _handle_data(self, packet: DataPacket, source: str) -> None:
+        try:
+            message = packet.message
+        except ValueError:
+            # Malformed packet (bad header, unparsable names): a robust
+            # resolver drops it rather than dying (design goal iii).
+            self.stats.packets_dropped += 1
+            return
+        vspace = message.destination.vspaces()[0]
+        tree = self.trees.get(vspace)
+        if tree is None:
+            self.stats.packets_forwarded_foreign_vspace += 1
+            self._forward_foreign_payload(vspace, packet)
+            return
+        self.monitor.count_lookup()
+        self.stats.lookups += 1
+        # Charge one LOOKUP-NAME per packet per INR, then route.
+        self._work(self.costs.lookup, lambda: self._route(tree, packet, source))
+
+    def _route(self, tree: NameTree, packet: DataPacket, source: str) -> None:
+        message = packet.message
+        if message.binding is Binding.EARLY:
+            # The B bit-flag (Figure 10): the sender wants the
+            # name-to-location bindings back, not payload forwarding.
+            self._answer_early_binding(tree, message)
+            return
+        if self.cache is not None and message.accept_cached:
+            entry = self.cache.lookup(message.destination, self.now)
+            if entry is not None:
+                self._answer_from_cache(message, entry)
+                return
+        records = tree.lookup(message.destination)
+        if self.cache is not None and message.wants_caching:
+            if message.source.is_concrete() and not message.source.is_empty:
+                self.cache.store(
+                    message.source, message.data, self.now, message.cache_lifetime
+                )
+        if not records:
+            self.stats.packets_dropped += 1
+            return
+        if message.delivery is Delivery.ANYCAST:
+            self._route_anycast(tree, packet, records)
+        else:
+            self._route_multicast(tree, packet, records, arrived_from=source)
+
+    def _answer_early_binding(self, tree: NameTree, message: InsMessage) -> None:
+        """Resolve the destination and send the [ip, [port, transport]]
+        list (plus metrics) back to the requester's intentional name."""
+        import json
+
+        if message.source.is_empty or not message.source.is_concrete():
+            # Nowhere to send the answer: early binding over the data
+            # path requires an addressable source name.
+            self.stats.packets_dropped += 1
+            return
+        bindings = []
+        for record in tree.lookup(message.destination):
+            for endpoint in record.endpoints:
+                bindings.append(
+                    {
+                        "host": endpoint.host,
+                        "port": endpoint.port,
+                        "transport": endpoint.transport,
+                        "metric": record.anycast_metric,
+                    }
+                )
+        bindings.sort(key=lambda b: (b["metric"], b["host"], b["port"]))
+        reply = InsMessage(
+            destination=message.source.copy(),
+            source=message.destination.copy(),
+            data=json.dumps({"bindings": bindings}).encode("utf-8"),
+            binding=Binding.LATE,
+            delivery=Delivery.ANYCAST,
+        )
+        self.stats.queries_served += 1
+        self.handle_message(DataPacket(raw=reply.encode()), self.address)
+
+    def _answer_from_cache(self, message: InsMessage, entry) -> None:
+        """Reply to a request directly from the packet cache."""
+        self.stats.packets_answered_from_cache += 1
+        reply = InsMessage(
+            destination=message.source.copy(),
+            source=entry.name.copy(),
+            data=entry.data,
+            binding=Binding.LATE,
+            delivery=Delivery.ANYCAST,
+        )
+        self.handle_message(DataPacket(raw=reply.encode()), self.address)
+
+    def _route_anycast(self, tree: NameTree, packet: DataPacket, records) -> None:
+        best = min(
+            records, key=lambda r: (r.anycast_metric, r.route.metric, str(r.announcer))
+        )
+        if best.route.is_local:
+            self._deliver_local(tree, packet, best)
+        else:
+            self._forward_to_inr(packet, best.route.next_hop)
+
+    def _route_multicast(
+        self, tree: NameTree, packet: DataPacket, records, arrived_from: str
+    ) -> None:
+        # Reverse-path rule: never forward a copy back over the link the
+        # packet arrived on. The overlay is a tree, so this suffices to
+        # keep the per-name shortest-path forwarding loop-free.
+        next_hops: Set[str] = set()
+        for record in records:
+            if record.route.is_local:
+                self._deliver_local(tree, packet, record)
+            elif record.route.next_hop != arrived_from:
+                next_hops.add(record.route.next_hop)
+        for next_hop in sorted(next_hops):
+            self._forward_to_inr(packet, next_hop)
+
+    def _deliver_local(self, tree: NameTree, packet: DataPacket, record) -> None:
+        if not record.endpoints:
+            self.stats.packets_dropped += 1
+            return
+        endpoint = record.endpoints[0]
+        self.stats.packets_delivered_locally += 1
+        self._work(
+            self.costs.local_delivery(len(tree)),
+            lambda: self.send(endpoint.host, endpoint.port, packet),
+        )
+
+    def _forward_to_inr(self, packet: DataPacket, next_hop: str) -> None:
+        message = packet.message
+        if message.hop_limit <= 0:
+            self.stats.packets_dropped += 1
+            return
+        forwarded = DataPacket(raw=message.hop_decremented().encode())
+        self.stats.packets_forwarded += 1
+        self._work(self.costs.forward, lambda: self.send(next_hop, INR_PORT, forwarded))
+
+    # ------------------------------------------------------------------
+    # Foreign virtual spaces (Section 2.5)
+    # ------------------------------------------------------------------
+    def _forward_foreign_payload(self, vspace: str, payload: object) -> None:
+        resolver = self._vspace_cache.get(vspace)
+        if resolver is not None:
+            self._work(
+                self.costs.vspace_forward,
+                lambda: self.send(resolver, INR_PORT, payload),
+            )
+            return
+        if self.dsr_address is None:
+            self.stats.packets_dropped += 1
+            return
+        waiting = self._vspace_waiting.setdefault(vspace, [])
+        waiting.append(payload)
+        if len(waiting) == 1:
+            self.send(
+                self.dsr_address,
+                DSR_PORT,
+                DsrVspaceRequest(
+                    vspace=vspace, reply_to=self.address, reply_port=self.port
+                ),
+            )
+
+    def _handle_vspace_response(self, response: DsrVspaceResponse) -> None:
+        self._tally_termination_vote(response)
+        waiting = self._vspace_waiting.pop(response.vspace, [])
+        if not response.resolvers:
+            self.stats.packets_dropped += len(waiting)
+            return
+        resolver = response.resolvers[0]
+        if len(self._vspace_cache) >= self.config.vspace_cache_size:
+            self._vspace_cache.pop(next(iter(self._vspace_cache)))
+        self._vspace_cache[response.vspace] = resolver
+        for payload in waiting:
+            self._work(
+                self.costs.vspace_forward,
+                lambda p=payload: self.send(resolver, INR_PORT, p),
+            )
+
+    # ------------------------------------------------------------------
+    # Load balancing (Section 2.5)
+    # ------------------------------------------------------------------
+    def _check_load(self) -> None:
+        sample = self.monitor.sample(self.now)
+        if self.spawner is None or self._spawn_pending:
+            return
+        config = self.config
+        if sample.lookups_per_second > config.spawn_lookup_rate:
+            self._claim_candidate(purpose="spawn")
+        elif (
+            sample.update_names_per_second > config.delegate_update_rate
+            and len(self.trees) > 1
+        ):
+            self._claim_candidate(purpose="delegate")
+        elif (
+            self.was_spawned
+            and sample.lookups_per_second < config.terminate_lookup_rate
+            and self.now - self._started_at > config.minimum_lifetime
+        ):
+            self._consider_termination()
+
+    def _consider_termination(self) -> None:
+        """Self-terminate only if every vspace this INR routes is also
+        routed by another resolver — a delegated vspace's sole resolver
+        must stay up however idle it is."""
+        if self._termination_votes is not None:
+            return  # a check is already in flight
+        self._termination_votes = {vspace: None for vspace in self.trees}
+        for vspace in self.trees:
+            self.send(
+                self.dsr_address,
+                DSR_PORT,
+                DsrVspaceRequest(
+                    vspace=vspace, reply_to=self.address, reply_port=self.port
+                ),
+            )
+
+    def _tally_termination_vote(self, response: DsrVspaceResponse) -> None:
+        votes = self._termination_votes
+        if votes is None or response.vspace not in votes:
+            return
+        votes[response.vspace] = any(
+            resolver != self.address for resolver in response.resolvers
+        )
+        if any(vote is None for vote in votes.values()):
+            return
+        self._termination_votes = None
+        if all(votes.values()):
+            self.terminate()
+
+    def _claim_candidate(self, purpose: str) -> None:
+        self._spawn_pending = True
+        self._claim_purpose = purpose
+        self.send(
+            self.dsr_address,
+            DSR_PORT,
+            DsrClaimCandidate(
+                requester=self.address, reply_to=self.address, reply_port=self.port
+            ),
+        )
+
+    def _handle_claim_response(self, response: DsrClaimResponse) -> None:
+        self._spawn_pending = False
+        if not response.candidate or self.spawner is None:
+            return
+        purpose = getattr(self, "_claim_purpose", "spawn")
+        if purpose == "spawn":
+            # Lookup overload: replicate this INR's vspaces on the
+            # candidate; clients re-selecting a default INR spread out.
+            self.spawner(response.candidate, self.vspaces)
+        else:
+            self._delegate_vspace(response.candidate)
+
+    def _delegate_vspace(self, candidate: str) -> None:
+        """Hand the busiest vspace to a fresh INR on ``candidate``."""
+        if len(self.trees) <= 1:
+            return
+        vspace = max(self.trees, key=lambda v: len(self.trees[v]))
+        tree = self.trees[vspace]
+        self.spawner(candidate, (vspace,))
+        updates = [
+            NameUpdate(
+                name=name,
+                announcer=record.announcer,
+                endpoints=tuple(record.endpoints),
+                anycast_metric=record.anycast_metric,
+                route_metric=record.route.metric,
+                lifetime=self.config.record_lifetime,
+                vspace=vspace,
+            )
+            for name, record in tree.names()
+        ]
+        self.send(candidate, INR_PORT, UpdateBatch(self.address, updates, triggered=True))
+        del self.trees[vspace]
+        self._vspace_cache[vspace] = candidate
+        self._register()  # refresh the DSR's view of our vspaces
+
+    def __repr__(self) -> str:
+        return (
+            f"INR({self.address}, vspaces={list(self.trees)}, "
+            f"names={self.name_count()}, neighbors={len(self.neighbors)})"
+        )

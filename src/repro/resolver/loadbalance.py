@@ -1,0 +1,59 @@
+"""Load monitoring for spawn/terminate and vspace-delegation decisions
+(Section 2.5).
+
+The paper identifies two distinct overload modes with different cures:
+
+- **lookup overload** — cured by spawning another INR for the *same*
+  vspaces on a candidate node, letting the client configuration
+  protocol move some clients over;
+- **update overload** — spawning a same-space replica does not help
+  (every replica still processes every name), so the cure is to
+  *delegate* one or more virtual spaces to a new INR network.
+
+:class:`LoadMonitor` just counts; the policy decisions live in the INR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LoadSample:
+    """Rates observed over one measurement window."""
+
+    window: float
+    lookups_per_second: float
+    update_names_per_second: float
+
+
+class LoadMonitor:
+    """Windowed counters of resolver work."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self._window_start = now
+        self._lookups = 0
+        self._update_names = 0
+        self.total_lookups = 0
+        self.total_update_names = 0
+
+    def count_lookup(self, count: int = 1) -> None:
+        self._lookups += count
+        self.total_lookups += count
+
+    def count_update_names(self, count: int) -> None:
+        self._update_names += count
+        self.total_update_names += count
+
+    def sample(self, now: float) -> LoadSample:
+        """Rates since the last sample; resets the window."""
+        window = max(now - self._window_start, 1e-9)
+        sample = LoadSample(
+            window=window,
+            lookups_per_second=self._lookups / window,
+            update_names_per_second=self._update_names / window,
+        )
+        self._window_start = now
+        self._lookups = 0
+        self._update_names = 0
+        return sample

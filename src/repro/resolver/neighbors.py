@@ -1,0 +1,90 @@
+"""Overlay neighbor state kept by each INR (Section 2.4).
+
+Neighbors are the spanning-tree peers an INR exchanges updates with.
+Each entry tracks the measured INR-ping round-trip metric (the overlay
+routing metric) and when the neighbor was last heard from, so silent
+neighbors can be declared dead and their routes flushed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+#: Used for a neighbor whose RTT has not been measured yet; high enough
+#: that unmeasured paths lose ties but finite so routing still works.
+UNMEASURED_RTT = 1.0
+
+
+@dataclass
+class Neighbor:
+    """One overlay peer."""
+
+    address: str
+    #: measured INR-to-INR round-trip metric (seconds)
+    rtt: float = UNMEASURED_RTT
+    #: virtual time we last received anything from this neighbor
+    last_heard: float = 0.0
+    #: True when this is the peer we joined the overlay through; losing
+    #: it requires a re-join, losing a child does not.
+    is_parent: bool = False
+
+
+class NeighborTable:
+    """The INR's set of overlay peers."""
+
+    def __init__(self) -> None:
+        self._neighbors: Dict[str, Neighbor] = {}
+
+    def add(self, address: str, rtt: float = UNMEASURED_RTT, is_parent: bool = False) -> Neighbor:
+        """Add or update a neighbor; keeps the best known RTT."""
+        neighbor = self._neighbors.get(address)
+        if neighbor is None:
+            neighbor = Neighbor(address=address, rtt=rtt, is_parent=is_parent)
+            self._neighbors[address] = neighbor
+        else:
+            neighbor.rtt = min(neighbor.rtt, rtt)
+            neighbor.is_parent = neighbor.is_parent or is_parent
+        return neighbor
+
+    def remove(self, address: str) -> Optional[Neighbor]:
+        return self._neighbors.pop(address, None)
+
+    def get(self, address: str) -> Optional[Neighbor]:
+        return self._neighbors.get(address)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._neighbors
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def __iter__(self) -> Iterator[Neighbor]:
+        return iter(list(self._neighbors.values()))
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        return tuple(self._neighbors)
+
+    @property
+    def parent(self) -> Optional[Neighbor]:
+        for neighbor in self._neighbors.values():
+            if neighbor.is_parent:
+                return neighbor
+        return None
+
+    def rtt_to(self, address: str) -> float:
+        neighbor = self._neighbors.get(address)
+        return neighbor.rtt if neighbor is not None else UNMEASURED_RTT
+
+    def heard_from(self, address: str, now: float) -> None:
+        neighbor = self._neighbors.get(address)
+        if neighbor is not None:
+            neighbor.last_heard = now
+
+    def silent_since(self, cutoff: float) -> Tuple[Neighbor, ...]:
+        """Neighbors not heard from since ``cutoff`` (candidates for
+        removal)."""
+        return tuple(
+            n for n in self._neighbors.values() if n.last_heard < cutoff
+        )

@@ -1,0 +1,27 @@
+"""Well-known ports of the INS control and data planes.
+
+The paper has each INR listen for periodic service announcements on a
+well-known port (Section 2.2); we give the DSR its own, and clients and
+services bind ephemeral ports above ``EPHEMERAL_BASE``.
+"""
+
+#: Port every INR listens on (advertisements, updates, queries, data).
+INR_PORT = 5678
+
+#: Port the Domain Space Resolver listens on.
+DSR_PORT = 5679
+
+#: First port handed out to client and service processes.
+EPHEMERAL_BASE = 20000
+
+
+class PortAllocator:
+    """Hands out unique ephemeral ports for one simulation."""
+
+    def __init__(self, base: int = EPHEMERAL_BASE) -> None:
+        self._next = base
+
+    def allocate(self) -> int:
+        port = self._next
+        self._next += 1
+        return port

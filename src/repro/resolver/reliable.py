@@ -1,0 +1,148 @@
+"""Reliable in-order delivery between INR neighbors (footnote 3).
+
+The paper notes an alternative to soft-state flooding: "we could have
+had the INRs use reliable TCP connections and send updates only for
+entries that change, perhaps eliminating periodic updates at the expense
+of maintaining connection state in the INRs. We do not explore this
+option further in this paper, but intend to in the future."
+
+This module is that exploration. :class:`ReliableChannel` gives an INR
+per-neighbor TCP-like semantics over the UDP substrate: sequence
+numbers, cumulative acks, retransmission on timeout, in-order delivery,
+duplicate suppression. The resolver uses it (``update_mode =
+"reliable-delta"``) to send only *changed* entries plus explicit
+withdrawals, instead of re-flooding every name each refresh interval.
+The bandwidth/staleness comparison lives in
+``benchmarks/bench_ablation_reliable.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+
+@dataclass
+class ReliableFrame:
+    """One sequenced payload on a reliable neighbor connection."""
+
+    sender: str
+    sequence: int
+    inner: Any
+
+    def wire_size(self) -> int:
+        sizer = getattr(self.inner, "wire_size", None)
+        return 8 + (int(sizer()) if callable(sizer) else 0)
+
+
+@dataclass
+class ReliableAck:
+    """Cumulative ack: every frame up to ``sequence`` was delivered."""
+
+    sender: str
+    sequence: int
+
+    def wire_size(self) -> int:
+        return 36  # header-sized, like a bare TCP ack
+
+
+@dataclass
+class _PendingFrame:
+    frame: ReliableFrame
+    retransmissions: int = 0
+
+
+class ReliableChannel:
+    """One INR's reliable connections to its neighbors.
+
+    The owner provides ``transmit(neighbor, payload)`` (raw datagram
+    send), ``deliver(neighbor, payload)`` (in-order application
+    delivery) and ``set_timer(delay, fn)``; the channel handles
+    sequencing, acks, retransmits and reordering.
+    """
+
+    MAX_RETRANSMISSIONS = 30
+
+    def __init__(
+        self,
+        transmit: Callable[[str, Any], None],
+        deliver: Callable[[str, Any], None],
+        set_timer: Callable[..., Any],
+        retransmit_timeout: float = 1.0,
+    ) -> None:
+        self._transmit = transmit
+        self._deliver = deliver
+        self._set_timer = set_timer
+        self.retransmit_timeout = retransmit_timeout
+        self._next_sequence: Dict[str, int] = {}
+        self._unacked: Dict[str, Dict[int, _PendingFrame]] = {}
+        self._expected: Dict[str, int] = {}
+        self._reorder: Dict[str, Dict[int, Any]] = {}
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, neighbor: str, payload: Any) -> None:
+        """Queue ``payload`` for reliable in-order delivery."""
+        sequence = self._next_sequence.get(neighbor, 1)
+        self._next_sequence[neighbor] = sequence + 1
+        frame = ReliableFrame(sender="", sequence=sequence, inner=payload)
+        self._unacked.setdefault(neighbor, {})[sequence] = _PendingFrame(frame)
+        self._push(neighbor, sequence)
+
+    def _push(self, neighbor: str, sequence: int) -> None:
+        pending = self._unacked.get(neighbor, {}).get(sequence)
+        if pending is None:
+            return  # acked in the meantime
+        if pending.retransmissions > self.MAX_RETRANSMISSIONS:
+            # The neighbor is unreachable; the resolver's neighbor
+            # timeout will clean up. Stop resending into the void.
+            self._unacked[neighbor].pop(sequence, None)
+            return
+        if pending.retransmissions:
+            self.retransmissions += 1
+        pending.retransmissions += 1
+        self._transmit(neighbor, pending.frame)
+        self._set_timer(self.retransmit_timeout, self._push, neighbor, sequence)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def on_frame(self, neighbor: str, frame: ReliableFrame) -> Optional[ReliableAck]:
+        """Process an incoming frame; returns the ack to transmit."""
+        expected = self._expected.get(neighbor, 1)
+        if frame.sequence < expected:
+            self.duplicates_dropped += 1
+        elif frame.sequence == expected:
+            self._deliver(neighbor, frame.inner)
+            expected += 1
+            buffered = self._reorder.get(neighbor, {})
+            while expected in buffered:
+                self._deliver(neighbor, buffered.pop(expected))
+                expected += 1
+            self._expected[neighbor] = expected
+        else:
+            self._reorder.setdefault(neighbor, {})[frame.sequence] = frame.inner
+        return ReliableAck(sender="", sequence=self._expected.get(neighbor, 1) - 1)
+
+    def on_ack(self, neighbor: str, ack: ReliableAck) -> None:
+        unacked = self._unacked.get(neighbor)
+        if not unacked:
+            return
+        for sequence in [s for s in unacked if s <= ack.sequence]:
+            del unacked[sequence]
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def reset(self, neighbor: str) -> None:
+        """Drop all connection state for a dead neighbor."""
+        self._next_sequence.pop(neighbor, None)
+        self._unacked.pop(neighbor, None)
+        self._expected.pop(neighbor, None)
+        self._reorder.pop(neighbor, None)
+
+    def unacked_count(self, neighbor: str) -> int:
+        return len(self._unacked.get(neighbor, {}))

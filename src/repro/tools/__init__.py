@@ -1,0 +1,21 @@
+"""Operator tooling: visualization and protocol tracing (the text-mode
+equivalent of the paper's NetworkManagement application, Section 4)."""
+
+from .trace import ProtocolTrace, TraceEvent
+from .visualize import (
+    domain_report,
+    render_name_tree,
+    render_overlay,
+    render_route_table,
+    resolver_report,
+)
+
+__all__ = [
+    "ProtocolTrace",
+    "TraceEvent",
+    "domain_report",
+    "render_name_tree",
+    "render_overlay",
+    "render_route_table",
+    "resolver_report",
+]

@@ -1,0 +1,119 @@
+"""A protocol tracer for debugging whole-domain runs.
+
+Wraps the network's delivery path and records every datagram as a
+structured event. Used by tests to assert on protocol behaviour (e.g.
+"no triggered update was sent after a pure refresh") and by developers
+to watch a simulation unfold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..netsim import Network
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One datagram observed entering the delivery path."""
+
+    time: float
+    source: str
+    destination: str
+    port: int
+    kind: str
+    size: int
+    payload: Any = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.time:9.4f}s  {self.source} -> {self.destination}:{self.port}"
+            f"  {self.kind} ({self.size}B)"
+        )
+
+
+class ProtocolTrace:
+    """Records datagrams passing through one network.
+
+    Install with :meth:`attach`; the original send path is preserved.
+    ``keep_payloads`` retains payload references (handy in tests,
+    heavier in long runs).
+    """
+
+    def __init__(self, keep_payloads: bool = False, capacity: int = 100_000) -> None:
+        self.events: List[TraceEvent] = []
+        self._keep_payloads = keep_payloads
+        self._capacity = capacity
+        self._network: Optional[Network] = None
+        self._original_send: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def attach(self, network: Network) -> "ProtocolTrace":
+        if self._network is not None:
+            raise RuntimeError("trace is already attached")
+        self._network = network
+        self._original_send = network.send
+
+        def traced_send(source, destination, port, payload, size_bytes):
+            if len(self.events) < self._capacity:
+                self.events.append(
+                    TraceEvent(
+                        time=network.sim.now,
+                        source=source,
+                        destination=destination,
+                        port=port,
+                        kind=type(payload).__name__,
+                        size=size_bytes,
+                        payload=payload if self._keep_payloads else None,
+                    )
+                )
+            self._original_send(source, destination, port, payload, size_bytes)
+
+        network.send = traced_send  # type: ignore[method-assign]
+        return self
+
+    def detach(self) -> None:
+        if self._network is not None and self._original_send is not None:
+            self._network.send = self._original_send  # type: ignore[method-assign]
+        self._network = None
+        self._original_send = None
+
+    def __enter__(self) -> "ProtocolTrace":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Events whose payload type name matches ``kind``."""
+        return [event for event in self.events if event.kind == kind]
+
+    def between(self, source: str, destination: str) -> List[TraceEvent]:
+        return [
+            event
+            for event in self.events
+            if event.source == source and event.destination == destination
+        ]
+
+    def since(self, time: float) -> List[TraceEvent]:
+        return [event for event in self.events if event.time >= time]
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return len(self.of_kind(kind))
+
+    def total_bytes(self, kind: Optional[str] = None) -> int:
+        events = self.events if kind is None else self.of_kind(kind)
+        return sum(event.size for event in events)
+
+    def render(self, limit: int = 50) -> str:
+        """The last ``limit`` events, one per line."""
+        tail = self.events[-limit:]
+        return "\n".join(str(event) for event in tail)

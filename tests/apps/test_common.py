@@ -1,0 +1,80 @@
+"""Tests for the application plumbing: payload codec and RPC endpoint."""
+
+import pytest
+
+from repro.apps import AppEndpoint, decode_payload, encode_payload
+from repro.experiments import InsDomain
+from repro.naming import NameSpecifier
+
+from ..conftest import parse
+
+
+class TestPayloadCodec:
+    def test_round_trip(self):
+        fields = {"op": "get", "region": "floor-5", "count": 3}
+        assert decode_payload(encode_payload(fields)) == fields
+
+    def test_deterministic_encoding(self):
+        a = encode_payload({"b": 1, "a": 2})
+        b = encode_payload({"a": 2, "b": 1})
+        assert a == b
+
+    def test_non_json_decodes_to_empty(self):
+        assert decode_payload(b"\xff\xfe") == {}
+        assert decode_payload(b"not json") == {}
+
+    def test_non_dict_json_decodes_to_empty(self):
+        assert decode_payload(b"[1, 2, 3]") == {}
+
+
+class Echo(AppEndpoint):
+    def handle_request(self, message, fields, source):
+        if fields.get("op") == "echo":
+            self.respond(message, {"echoed": fields.get("text", "")})
+
+
+@pytest.fixture
+def rpc_pair():
+    domain = InsDomain(seed=90)
+    inr = domain.add_inr()
+
+    def endpoint(name, cls=AppEndpoint):
+        node = domain.network.add_node(f"host-{name}")
+        app = cls(node, domain.ports.allocate(),
+                  name=parse(f"[service=test[id={name}]]"),
+                  resolver=inr.address)
+        app.start()
+        return app
+
+    server = endpoint("server", Echo)
+    caller = endpoint("caller")
+    domain.run(1.0)
+    return domain, server, caller
+
+
+class TestRequestResponse:
+    def test_request_resolves_with_response_fields(self, rpc_pair):
+        domain, server, caller = rpc_pair
+        reply = caller.request(parse("[service=test[id=server]]"),
+                               {"op": "echo", "text": "hello"})
+        domain.run(1.0)
+        assert reply.value["echoed"] == "hello"
+
+    def test_tokens_correlate_concurrent_requests(self, rpc_pair):
+        domain, server, caller = rpc_pair
+        first = caller.request(parse("[service=test[id=server]]"),
+                               {"op": "echo", "text": "one"})
+        second = caller.request(parse("[service=test[id=server]]"),
+                                {"op": "echo", "text": "two"})
+        domain.run(1.0)
+        assert first.value["echoed"] == "one"
+        assert second.value["echoed"] == "two"
+
+    def test_unsolicited_messages_go_to_handle_request(self, rpc_pair):
+        domain, server, caller = rpc_pair
+        seen = []
+        caller.handle_request = lambda m, fields, s: seen.append(fields)
+        server.send_anycast(parse("[service=test[id=caller]]"),
+                            encode_payload({"note": "fyi"}))
+        domain.run(1.0)
+        assert seen == [{"note": "fyi"}]

@@ -1,0 +1,110 @@
+"""Tests for the TV/MP3 device-controller application."""
+
+import pytest
+
+from repro.apps import (
+    DeviceController,
+    RemoteControl,
+    controller_name,
+    controllers_in_room,
+)
+from repro.experiments import InsDomain
+
+
+@pytest.fixture
+def living_room():
+    domain = InsDomain(seed=130)
+    inr = domain.add_inr()
+
+    def app(cls, host, **kwargs):
+        node = domain.network.add_node(host)
+        instance = cls(node, domain.ports.allocate(), resolver=inr.address,
+                       **kwargs)
+        instance.start()
+        return instance
+
+    tv = app(DeviceController, "h-tv", kind="tv", device_id="tv1", room="511")
+    mp3 = app(DeviceController, "h-mp3", kind="mp3", device_id="mp1", room="511")
+    remote = app(RemoteControl, "h-remote", user="dana")
+    domain.run(2.0)
+    return domain, tv, mp3, remote
+
+
+class TestCommands:
+    def test_power_on_by_exact_name(self, living_room):
+        domain, tv, mp3, remote = living_room
+        reply = remote.power(controller_name("tv", "tv1", "511"), on=True)
+        domain.run(1.0)
+        assert reply.value["powered"] is True
+        assert tv.powered
+        assert not mp3.powered
+
+    def test_kind_scoped_anycast(self, living_room):
+        domain, tv, mp3, remote = living_room
+        remote.power(controllers_in_room("511", kind="mp3"), on=True)
+        domain.run(1.0)
+        assert mp3.powered
+        assert not tv.powered
+
+    def test_volume_is_clamped(self, living_room):
+        domain, tv, mp3, remote = living_room
+        reply = remote.set_volume(controller_name("tv", "tv1", "511"), 250)
+        domain.run(1.0)
+        assert reply.value["volume"] == DeviceController.MAX_VOLUME
+        reply = remote.set_volume(controller_name("tv", "tv1", "511"), -3)
+        domain.run(1.0)
+        assert reply.value["volume"] == DeviceController.MIN_VOLUME
+
+    def test_play_requires_power(self, living_room):
+        domain, tv, mp3, remote = living_room
+        target = controller_name("mp3", "mp1", "511")
+        remote.play(target, "intentional-naming.flac")
+        domain.run(1.0)
+        assert mp3.now_playing is None  # powered off: ignored
+        remote.power(target, on=True)
+        domain.run(1.0)
+        remote.play(target, "intentional-naming.flac")
+        domain.run(1.0)
+        assert mp3.now_playing == "intentional-naming.flac"
+
+    def test_power_off_stops_playback(self, living_room):
+        domain, tv, mp3, remote = living_room
+        target = controller_name("mp3", "mp1", "511")
+        remote.power(target, on=True)
+        domain.run(1.0)
+        remote.play(target, "x")
+        domain.run(1.0)
+        remote.power(target, on=False)
+        domain.run(1.0)
+        assert mp3.now_playing is None
+
+    def test_status_roundtrip(self, living_room):
+        domain, tv, mp3, remote = living_room
+        reply = remote.status(controller_name("tv", "tv1", "511"))
+        domain.run(1.0)
+        assert reply.value["device"] == "tv1"
+        assert reply.value["kind"] == "tv"
+
+    def test_unknown_op_is_ignored(self, living_room):
+        domain, tv, mp3, remote = living_room
+        before = len(tv.command_log)
+        remote.request(controller_name("tv", "tv1", "511"), {"op": "explode"})
+        domain.run(1.0)
+        assert len(tv.command_log) == before
+
+
+class TestDiscoveryIntegration:
+    def test_floorplan_sees_controllers(self, living_room):
+        from repro.apps import FloorplanApp
+
+        domain, tv, mp3, remote = living_room
+        node = domain.network.add_node("h-fp")
+        floorplan = FloorplanApp(node, domain.ports.allocate(), user="dana",
+                                 region="5th", resolver=domain.inrs[0].address)
+        floorplan.start()
+        domain.run(1.0)
+        floorplan.refresh()
+        domain.run(1.0)
+        labels = floorplan.visible_services()
+        assert "controller/tv@511" in labels
+        assert "controller/mp3@511" in labels

@@ -1,0 +1,107 @@
+"""Tests for the Floorplan application and Locator (Section 3.1)."""
+
+import pytest
+
+from repro.apps import FloorplanApp, Locator, PrinterSpooler
+from repro.experiments import InsDomain
+from repro.resolver import InrConfig
+
+from ..conftest import parse
+
+
+@pytest.fixture
+def building():
+    domain = InsDomain(
+        seed=120, config=InrConfig(refresh_interval=3.0, record_lifetime=9.0)
+    )
+    inr = domain.add_inr()
+
+    def app(cls, host, **kwargs):
+        node = domain.network.add_node(host)
+        instance = cls(node, domain.ports.allocate(), resolver=inr.address,
+                       refresh_interval=3.0, lifetime=9.0, **kwargs)
+        instance.start()
+        return instance
+
+    locator = app(Locator, "h-locator")
+    locator.add_map("floor-5", "MAP-5")
+    locator.add_map("floor-6", "MAP-6")
+    printer = app(PrinterSpooler, "h-printer", printer_id="lw5", room="517")
+    viewer = app(FloorplanApp, "h-viewer", user="carol", region="floor-5")
+    domain.run(2.0)
+    return domain, inr, locator, printer, viewer
+
+
+class TestDiscoveryDisplay:
+    def test_refresh_builds_icons(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.refresh()
+        domain.run(1.0)
+        assert "printer/spooler@517" in viewer.visible_services()
+        assert "locator/server@?" in viewer.visible_services()
+
+    def test_filtered_refresh(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.refresh(parse("[service=printer]"))
+        domain.run(1.0)
+        assert viewer.visible_services() == ["printer/spooler@517"]
+
+    def test_new_services_appear_on_refresh(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.refresh()
+        domain.run(1.0)
+        before = set(viewer.visible_services())
+        node = domain.network.add_node("h-cam2")
+        from repro.apps import CameraTransmitter
+
+        cam = CameraTransmitter(node, domain.ports.allocate(), camera_id="z",
+                                room="510", resolver=inr.address)
+        cam.start()
+        domain.run(1.0)
+        viewer.refresh()
+        domain.run(1.0)
+        assert set(viewer.visible_services()) - before == {
+            "camera/transmitter@510"
+        }
+
+    def test_dead_services_disappear_after_expiry(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.refresh()
+        domain.run(1.0)
+        assert "printer/spooler@517" in viewer.visible_services()
+        printer.stop()
+        domain.run(15.0)  # > soft-state lifetime of 9 s
+        viewer.refresh()
+        domain.run(1.0)
+        assert "printer/spooler@517" not in viewer.visible_services()
+
+    def test_click_returns_wire_name(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.refresh()
+        domain.run(1.0)
+        target = viewer.click("printer/spooler@517")
+        assert target == "[service=printer[entity=spooler][id=lw5]][room=517]"
+        assert viewer.click("no/such@icon") is None
+
+
+class TestMaps:
+    def test_fetch_map_by_intentional_name(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.fetch_map("floor-5")
+        domain.run(1.0)
+        assert viewer.map_data == "MAP-5"
+        assert locator.maps_served == 1
+
+    def test_unknown_region_yields_placeholder(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.fetch_map("basement")
+        domain.run(1.0)
+        assert "no map" in viewer.map_data
+
+    def test_move_to_region_fetches_and_refreshes(self, building):
+        domain, inr, locator, printer, viewer = building
+        viewer.move_to_region("floor-6")
+        domain.run(1.0)
+        assert viewer.region == "floor-6"
+        assert viewer.map_data == "MAP-6"
+        assert viewer.icons  # discovery ran too

@@ -1,0 +1,139 @@
+"""Tests for the Printer application (Section 3.3)."""
+
+import pytest
+
+from repro.apps import ERROR_PENALTY, PrinterClient, PrinterSpooler, printer_name
+from repro.experiments import InsDomain
+
+
+@pytest.fixture
+def printshop():
+    domain = InsDomain(seed=100)
+    inr_a = domain.add_inr()
+    inr_b = domain.add_inr()
+
+    def app(cls, host, resolver, **kwargs):
+        node = domain.network.add_node(host)
+        instance = cls(node, domain.ports.allocate(),
+                       resolver=resolver.address, **kwargs)
+        instance.start()
+        return instance
+
+    lw1 = app(PrinterSpooler, "h-lw1", inr_a, printer_id="lw1", room="517",
+              pages_per_second=100)
+    lw2 = app(PrinterSpooler, "h-lw2", inr_b, printer_id="lw2", room="517",
+              pages_per_second=100)
+    other = app(PrinterSpooler, "h-lw9", inr_b, printer_id="lw9", room="601",
+                pages_per_second=100)
+    user = app(PrinterClient, "h-user", inr_a, user="alice")
+    domain.run(2.0)
+    return domain, (lw1, lw2, other), user
+
+
+class TestSubmission:
+    def test_submit_to_named_printer(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        reply = user.submit_to(printer_name("lw2", "517"), size=100)
+        domain.run(1.0)
+        assert reply.value["ok"]
+        assert reply.value["printer"] == "lw2"
+
+    def test_submit_best_targets_room(self, printshop):
+        """Location-scoped anycast never leaves the requested room."""
+        domain, (lw1, lw2, other), user = printshop
+        for _ in range(4):
+            reply = user.submit_best("517", size=100)
+            domain.run(1.0)
+            assert reply.value["printer"] in ("lw1", "lw2")
+
+    def test_submit_best_balances_by_queue(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        chosen = []
+        for _ in range(4):
+            reply = user.submit_best("517", size=2000)
+            domain.run(1.0)  # metric updates propagate between jobs
+            chosen.append(reply.value["printer"])
+        assert set(chosen) == {"lw1", "lw2"}  # load spread across both
+
+    def test_jobs_drain_and_metric_recovers(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        user.submit_to(printer_name("lw1", "517"), size=100)
+        domain.run(0.5)
+        assert lw1.current_metric() > 0
+        domain.run(5.0)
+        assert lw1.completed and lw1.queue == []
+        assert lw1.current_metric() == 0.0
+
+
+class TestErrorStatus:
+    def test_error_penalty_dominates_metric(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        lw1.set_error(True)
+        assert lw1.current_metric() >= ERROR_PENALTY
+
+    def test_anycast_avoids_errored_printer(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        lw1.set_error(True)
+        domain.run(1.0)
+        reply = user.submit_best("517", size=10)
+        domain.run(1.0)
+        assert reply.value["printer"] == "lw2"
+
+    def test_errored_printer_rejects_direct_jobs(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        lw1.set_error(True)
+        domain.run(1.0)
+        reply = user.submit_to(printer_name("lw1", "517"), size=10)
+        domain.run(1.0)
+        assert not reply.value["ok"]
+
+    def test_recovery_restores_service(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        lw1.set_error(True)
+        domain.run(1.0)
+        lw1.set_error(False)
+        domain.run(1.0)
+        reply = user.submit_to(printer_name("lw1", "517"), size=10)
+        domain.run(1.0)
+        assert reply.value["ok"]
+
+
+class TestQueueManagement:
+    def test_list_jobs(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        submitted = user.submit_to(printer_name("lw1", "517"), size=5000)
+        domain.run(1.0)
+        listing = user.list_jobs(printer_name("lw1", "517"))
+        domain.run(1.0)
+        jobs = listing.value["jobs"]
+        assert [j["job_id"] for j in jobs] == [submitted.value["job_id"]]
+
+    def test_owner_can_remove_job(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        submitted = user.submit_to(printer_name("lw1", "517"), size=5000)
+        domain.run(1.0)
+        removal = user.remove_job(printer_name("lw1", "517"),
+                                  submitted.value["job_id"])
+        domain.run(1.0)
+        assert removal.value["ok"]
+        assert lw1.queue == []
+
+    def test_permission_denied_for_other_users(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        node = domain.network.add_node("h-mallory")
+        mallory = PrinterClient(node, domain.ports.allocate(), user="mallory",
+                                resolver=domain.inrs[0].address)
+        mallory.start()
+        submitted = user.submit_to(printer_name("lw1", "517"), size=5000)
+        domain.run(1.0)
+        attempt = mallory.remove_job(printer_name("lw1", "517"),
+                                     submitted.value["job_id"])
+        domain.run(1.0)
+        assert not attempt.value["ok"]
+        assert len(lw1.queue) == 1
+
+    def test_remove_missing_job(self, printshop):
+        domain, (lw1, lw2, other), user = printshop
+        attempt = user.remove_job(printer_name("lw1", "517"), job_id=9999)
+        domain.run(1.0)
+        assert not attempt.value["ok"]

@@ -1,0 +1,59 @@
+"""Tests for the Reply future."""
+
+import pytest
+
+from repro.client import Reply
+
+
+class TestReply:
+    def test_unresolved_value_raises(self):
+        reply = Reply()
+        assert not reply.done
+        with pytest.raises(RuntimeError):
+            reply.value
+
+    def test_value_or_default(self):
+        reply = Reply()
+        assert reply.value_or("fallback") == "fallback"
+        reply.resolve(42)
+        assert reply.value_or("fallback") == 42
+
+    def test_resolve_delivers(self):
+        reply = Reply()
+        reply.resolve("result")
+        assert reply.done
+        assert reply.value == "result"
+
+    def test_resolution_is_single_assignment(self):
+        """Duplicate datagrams must not overwrite the first answer."""
+        reply = Reply()
+        reply.resolve("first")
+        reply.resolve("second")
+        assert reply.value == "first"
+
+    def test_callbacks_run_on_resolution(self):
+        reply = Reply()
+        seen = []
+        reply.then(seen.append)
+        reply.then(seen.append)
+        reply.resolve("x")
+        assert seen == ["x", "x"]
+
+    def test_late_callback_runs_immediately(self):
+        reply = Reply()
+        reply.resolve("x")
+        seen = []
+        reply.then(seen.append)
+        assert seen == ["x"]
+
+    def test_callbacks_fire_once(self):
+        reply = Reply()
+        seen = []
+        reply.then(seen.append)
+        reply.resolve(1)
+        reply.resolve(2)
+        assert seen == [1]
+
+    def test_then_chains(self):
+        reply = Reply()
+        assert reply.then(lambda v: None) is reply

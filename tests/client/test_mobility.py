@@ -1,0 +1,86 @@
+"""Tests for mobility: node movement and continued communication."""
+
+import pytest
+
+from repro.client import MobilityManager
+from repro.experiments import InsDomain
+from repro.resolver import InrConfig
+
+from ..conftest import parse
+
+
+@pytest.fixture
+def mobile_setup():
+    domain = InsDomain(
+        seed=80, config=InrConfig(refresh_interval=3.0, record_lifetime=9.0)
+    )
+    inr = domain.add_inr()
+    service = domain.add_service("[service=cam[id=m]]", resolver=inr,
+                                 refresh_interval=3.0, lifetime=9.0)
+    client = domain.add_client(resolver=inr)
+    inbox = []
+    service.on_message(lambda m, s: inbox.append(m.data))
+    domain.run(1.0)
+    return domain, inr, service, client, inbox
+
+
+class TestNodeMobility:
+    def test_migrate_changes_address(self, mobile_setup):
+        domain, inr, service, client, inbox = mobile_setup
+        manager = MobilityManager(service.node)
+        old = service.address
+        manager.migrate("roaming-1")
+        assert service.address == "roaming-1"
+        assert manager.moves == 1
+        assert not domain.network.has_node(old)
+
+    def test_migrate_to_same_address_is_noop(self, mobile_setup):
+        domain, inr, service, client, inbox = mobile_setup
+        manager = MobilityManager(service.node)
+        manager.migrate(service.address)
+        assert manager.moves == 0
+
+    def test_service_reachable_after_move(self, mobile_setup):
+        """The immediate re-advertisement updates the name-to-location
+        mapping; anycast continues without client involvement."""
+        domain, inr, service, client, inbox = mobile_setup
+        MobilityManager(service.node).migrate("roaming-1")
+        domain.run(1.0)
+        client.send_anycast(parse("[service=cam]"), b"after-move")
+        domain.run(1.0)
+        assert inbox == [b"after-move"]
+
+    def test_early_binding_reflects_new_address(self, mobile_setup):
+        domain, inr, service, client, inbox = mobile_setup
+        MobilityManager(service.node).migrate("roaming-2")
+        domain.run(1.0)
+        reply = client.resolve_early(parse("[service=cam]"))
+        domain.run(1.0)
+        [(endpoint, _metric)] = reply.value
+        assert endpoint.host == "roaming-2"
+
+    def test_repeated_moves(self, mobile_setup):
+        domain, inr, service, client, inbox = mobile_setup
+        manager = MobilityManager(service.node)
+        for hop in range(3):
+            manager.migrate(f"roam-{hop}")
+            domain.run(1.0)
+            client.send_anycast(parse("[service=cam]"), f"m{hop}".encode())
+            domain.run(1.0)
+        assert inbox == [b"m0", b"m1", b"m2"]
+
+    def test_stale_address_expires_without_move_notifications(self):
+        """Even with NO immediate re-advertisement the periodic refresh
+        replaces the stale endpoint within one refresh interval."""
+        domain = InsDomain(
+            seed=81, config=InrConfig(refresh_interval=3.0, record_lifetime=9.0)
+        )
+        inr = domain.add_inr()
+        service = domain.add_service("[service=cam[id=m]]", resolver=inr,
+                                     refresh_interval=3.0, lifetime=9.0)
+        domain.run(1.0)
+        # move without notifying (simulates a missed movement detection)
+        domain.network.rename_node(service.address, "silent-move")
+        domain.run(4.0)  # one refresh cycle passes
+        record = next(iter(inr.trees["default"].lookup(parse("[service=cam]"))))
+        assert record.endpoints[0].host == "silent-move"

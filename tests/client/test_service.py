@@ -1,0 +1,124 @@
+"""Tests for the Service class: advertising, metrics, renaming."""
+
+import pytest
+
+from repro.experiments import InsDomain
+from repro.naming import WildcardValueError
+
+from ..conftest import parse
+
+
+class TestAdvertising:
+    def test_advertises_on_attach(self):
+        domain = InsDomain(seed=60)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=inr)
+        domain.run(0.5)
+        assert inr.name_count() == 1
+        assert service.advertisements_sent == 1
+
+    def test_periodic_refreshes(self):
+        domain = InsDomain(seed=61)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=inr,
+                                     refresh_interval=2.0)
+        domain.run(10.5)
+        assert service.advertisements_sent >= 5
+
+    def test_wildcard_name_rejected_at_construction(self):
+        domain = InsDomain(seed=62)
+        inr = domain.add_inr()
+        with pytest.raises(WildcardValueError):
+            domain.add_service("[service=*]", resolver=inr)
+
+    def test_announcer_id_is_stable_across_refreshes(self):
+        domain = InsDomain(seed=63)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=inr,
+                                     refresh_interval=1.0)
+        domain.run(5.0)
+        assert inr.name_count() == 1  # refreshes, not duplicates
+
+    def test_two_instances_on_one_node_coexist(self):
+        """AnnouncerIDs differentiate same-node announcers (Section 2.2)."""
+        domain = InsDomain(seed=64)
+        inr = domain.add_inr()
+        domain.add_service("[service=x[id=a]]", address="shared-host",
+                           resolver=inr)
+        domain.add_service("[service=x[id=b]]", address="shared-host",
+                           resolver=inr)
+        domain.run(1.0)
+        assert inr.name_count() == 2
+
+
+class TestMetrics:
+    def test_set_metric_announces_immediately(self):
+        domain = InsDomain(seed=65)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=inr,
+                                     metric=5.0)
+        domain.run(0.5)
+        service.set_metric(1.25)
+        domain.run(0.5)
+        record = next(iter(inr.trees["default"].lookup(parse("[service=x]"))))
+        assert record.anycast_metric == 1.25
+
+    def test_set_metric_can_defer(self):
+        domain = InsDomain(seed=66)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=inr,
+                                     metric=5.0, refresh_interval=4.0)
+        domain.run(0.5)
+        service.set_metric(1.25, announce_now=False)
+        domain.run(0.5)
+        record = next(iter(inr.trees["default"].lookup(parse("[service=x]"))))
+        assert record.anycast_metric == 5.0  # old value until next refresh
+        domain.run(5.0)
+        assert record.anycast_metric == 1.25
+
+
+class TestRename:
+    def test_rename_announces_new_name(self):
+        domain = InsDomain(seed=67)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]][room=510]", resolver=inr)
+        domain.run(0.5)
+        service.rename(parse("[service=x[id=1]][room=520]"))
+        domain.run(0.5)
+        tree = inr.trees["default"]
+        assert not tree.lookup(parse("[room=510]"))
+        assert len(tree.lookup(parse("[room=520]"))) == 1
+
+    def test_rename_rejects_wildcards(self):
+        domain = InsDomain(seed=68)
+        inr = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=inr)
+        with pytest.raises(WildcardValueError):
+            service.rename(parse("[service=*]"))
+
+
+class TestReply:
+    def test_reply_to_inverts_names(self):
+        domain = InsDomain(seed=69)
+        inr = domain.add_inr()
+        server = domain.add_service("[service=server[id=s]]", resolver=inr)
+        caller = domain.add_service("[service=caller[id=c]]", resolver=inr)
+        received = []
+        caller.on_message(lambda m, s: received.append(m))
+        server.on_message(lambda m, s: server.reply_to(m, b"pong"))
+        domain.run(1.0)
+        caller.send_anycast(parse("[service=server]"), b"ping",
+                            source=caller.name)
+        domain.run(1.0)
+        assert [m.data for m in received] == [b"pong"]
+        assert received[0].destination == caller.name
+
+    def test_reply_to_anonymous_request_is_dropped(self):
+        domain = InsDomain(seed=70)
+        inr = domain.add_inr()
+        server = domain.add_service("[service=server[id=s]]", resolver=inr)
+        server.on_message(lambda m, s: server.reply_to(m, b"pong"))
+        client = domain.add_client(resolver=inr)
+        domain.run(1.0)
+        client.send_anycast(parse("[service=server]"), b"ping")  # no source
+        domain.run(1.0)  # must not raise or loop

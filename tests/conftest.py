@@ -1,0 +1,46 @@
+"""Shared fixtures for the INS reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import InsDomain
+from repro.naming import NameSpecifier
+from repro.nametree import AnnouncerID, Endpoint, NameRecord, NameTree
+
+
+@pytest.fixture
+def domain():
+    """A fresh single-seed domain with a DSR and no INRs yet."""
+    return InsDomain(seed=1)
+
+
+@pytest.fixture
+def tree():
+    """An empty default-vspace name-tree."""
+    return NameTree()
+
+
+def make_record(host: str = "10.0.0.1", port: int = 9, metric: float = 0.0,
+                expires_at: float = float("inf")) -> NameRecord:
+    """A minimal local name-record for direct tree manipulation."""
+    return NameRecord(
+        announcer=AnnouncerID.generate(host),
+        endpoints=[Endpoint(host=host, port=port)],
+        anycast_metric=metric,
+        expires_at=expires_at,
+    )
+
+
+def parse(text: str) -> NameSpecifier:
+    return NameSpecifier.parse(text)
+
+
+#: The paper's running example (Figures 2 and 3).
+OVAL_OFFICE_CAMERA = (
+    "[city = washington [building = whitehouse"
+    " [wing = west [room = oval-office]]]]"
+    "[service = camera [data-type = picture [format = jpg]]"
+    " [resolution = 640x480]]"
+    "[accessibility = public]"
+)

@@ -1,0 +1,84 @@
+"""Tests for the InsDomain experiment harness itself."""
+
+import pytest
+
+from repro.experiments import DSR_HOST, InsDomain
+from repro.resolver import INR
+
+
+class TestWiring:
+    def test_domain_starts_with_a_dsr(self):
+        domain = InsDomain(seed=500)
+        assert domain.network.has_node(DSR_HOST)
+        assert domain.dsr.active_inrs == ()
+
+    def test_auto_addresses_are_unique(self):
+        domain = InsDomain(seed=501)
+        a = domain.add_inr()
+        b = domain.add_inr()
+        assert a.address != b.address
+
+    def test_explicit_addresses_respected(self):
+        domain = InsDomain(seed=502)
+        inr = domain.add_inr(address="my-inr")
+        assert inr.address == "my-inr"
+
+    def test_services_and_clients_tracked(self):
+        domain = InsDomain(seed=503)
+        inr = domain.add_inr()
+        domain.add_service("[service=x[id=1]]", resolver=inr)
+        domain.add_client(resolver=inr)
+        assert len(domain.services) == 1
+        assert len(domain.clients) == 1
+
+    def test_resolver_reference_accepts_inr_or_address(self):
+        domain = InsDomain(seed=504)
+        inr = domain.add_inr()
+        by_object = domain.add_client(resolver=inr)
+        by_address = domain.add_client(resolver=inr.address)
+        assert by_object.resolver == by_address.resolver == inr.address
+
+    def test_colocating_apps_on_one_node(self):
+        domain = InsDomain(seed=505)
+        inr = domain.add_inr()
+        first = domain.add_service("[service=x[id=1]]", address="shared",
+                                   resolver=inr)
+        second = domain.add_service("[service=x[id=2]]", address="shared",
+                                    resolver=inr)
+        assert first.node is second.node
+        assert first.port != second.port
+
+    def test_candidate_registration(self):
+        domain = InsDomain(seed=506)
+        address = domain.add_candidate()
+        assert domain.dsr.candidates == (address,)
+
+    def test_spawner_creates_running_inr(self):
+        domain = InsDomain(seed=507)
+        domain.add_inr()
+        domain.network.add_node("spare-x")
+        spawned = domain.spawn_inr("spare-x", ("default",))
+        assert isinstance(spawned, INR)
+        assert spawned.was_spawned
+        domain.run(2.0)
+        assert "spare-x" in domain.dsr.active_inrs
+
+    def test_determinism_across_identical_domains(self):
+        def build_and_run(seed):
+            domain = InsDomain(seed=seed)
+            inr = domain.add_inr()
+            domain.add_service("[service=d[id=1]]", resolver=inr)
+            domain.run(10.0)
+            # The trailing rng draw captures the whole run's random
+            # history (jittered timers), not just event counts.
+            return (domain.now, inr.stats.advertisements_processed,
+                    domain.sim.events_processed, domain.sim.rng.random())
+
+        assert build_and_run(7) == build_and_run(7)
+        assert build_and_run(7) != build_and_run(8)
+
+    def test_run_and_now(self):
+        domain = InsDomain(seed=508)
+        start = domain.now
+        domain.run(5.0)
+        assert domain.now == pytest.approx(start + 5.0)

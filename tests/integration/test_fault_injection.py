@@ -1,0 +1,132 @@
+"""Failure-injection tests: packet loss, crashes, partitions."""
+
+import pytest
+
+from repro.experiments import InsDomain
+from repro.resolver import InrConfig
+
+from ..conftest import parse
+
+
+class TestPacketLoss:
+    def test_soft_state_survives_moderate_loss(self):
+        """With 20% loss, periodic refreshes keep names alive: each
+        refresh is an independent trial, so a name's record survives
+        as long as one refresh lands per lifetime."""
+        domain = InsDomain(
+            seed=210,
+            default_loss_rate=0.2,
+            config=InrConfig(refresh_interval=2.0, record_lifetime=10.0),
+        )
+        a = domain.add_inr()
+        b = domain.add_inr()
+        domain.add_service("[service=lossy[id=1]]", resolver=a,
+                           refresh_interval=2.0, lifetime=10.0)
+        domain.run(60.0)
+        assert a.name_count() == 1
+        assert b.name_count() == 1
+
+    def test_anycast_is_best_effort_under_loss(self):
+        """Late binding gives no delivery guarantee (Section 1); under
+        heavy loss some sends vanish and nothing breaks."""
+        domain = InsDomain(
+            seed=211,
+            default_loss_rate=0.4,
+            config=InrConfig(refresh_interval=1.0, record_lifetime=6.0),
+        )
+        inr = domain.add_inr()
+        service = domain.add_service("[service=lossy[id=1]]", resolver=inr,
+                                     refresh_interval=1.0, lifetime=6.0)
+        inbox = []
+        service.on_message(lambda m, s: inbox.append(m.data))
+        client = domain.add_client(resolver=inr)
+        domain.run(2.0)
+        for i in range(50):
+            domain.sim.schedule(
+                i * 0.2, client.send_anycast, parse("[service=lossy]"),
+                f"m{i}".encode(),
+            )
+        domain.run(15.0)
+        assert 10 <= len(inbox) < 50  # some losses, plenty delivered
+
+    def test_discovery_protocol_reconverges_after_lossy_burst(self):
+        domain = InsDomain(
+            seed=212,
+            config=InrConfig(refresh_interval=2.0, record_lifetime=8.0),
+        )
+        a = domain.add_inr(address="inr-a")
+        b = domain.add_inr(address="inr-b")
+        link = domain.network.configure_link("inr-a", "inr-b", loss_rate=0.9)
+        domain.add_service("[service=x[id=1]]", resolver=a,
+                           refresh_interval=2.0, lifetime=8.0)
+        domain.run(5.0)
+        link.loss_rate = 0.0  # the wireless link recovers
+        domain.run(10.0)
+        assert b.name_count() == 1
+
+
+class TestCrashes:
+    def test_dsr_unavailability_does_not_stop_existing_overlay(self):
+        """The DSR is only needed for joins/spawns/vspace misses; an
+        established overlay keeps resolving without it."""
+        domain = InsDomain(seed=213)
+        a = domain.add_inr()
+        b = domain.add_inr()
+        service = domain.add_service("[service=x[id=1]]", resolver=a)
+        client = domain.add_client(resolver=b)
+        domain.run(2.0)
+        domain.dsr.stop()  # kill the DSR
+        inbox = []
+        service.on_message(lambda m, s: inbox.append(m.data))
+        domain.run(30.0)
+        client.send_anycast(parse("[service=x]"), b"still-works")
+        domain.run(1.0)
+        assert inbox == [b"still-works"]
+
+    def test_cascading_inr_failures(self):
+        """Kill resolvers one at a time; the remainder re-form a tree
+        and the surviving service stays resolvable via re-attachment."""
+        domain = InsDomain(
+            seed=214, config=InrConfig(refresh_interval=3.0, record_lifetime=9.0)
+        )
+        inrs = [domain.add_inr() for _ in range(4)]
+        service = domain.add_service("[service=hardy[id=1]]", resolver=inrs[3],
+                                     refresh_interval=3.0, lifetime=9.0)
+        domain.run(2.0)
+        for doomed in inrs[:3]:
+            doomed.crash()
+            domain.run(90.0)
+        survivor = inrs[3]
+        assert domain.dsr.active_inrs == (survivor.address,)
+        client = domain.add_client(resolver=survivor)
+        reply = client.resolve_early(parse("[service=hardy]"))
+        domain.run(1.0)
+        assert len(reply.value) == 1
+
+    def test_simultaneous_crash_of_majority(self):
+        domain = InsDomain(
+            seed=215, config=InrConfig(refresh_interval=3.0, record_lifetime=9.0)
+        )
+        inrs = [domain.add_inr() for _ in range(5)]
+        for inr in inrs[:3]:
+            inr.crash()
+        domain.run(150.0)
+        live = set(domain.dsr.active_inrs)
+        assert live == {inrs[3].address, inrs[4].address}
+        # survivors re-peered with each other
+        assert (inrs[4].address in inrs[3].neighbors
+                or inrs[3].address in inrs[4].neighbors)
+
+    def test_service_crash_leaves_no_phantom_after_lifetimes(self):
+        domain = InsDomain(
+            seed=216, config=InrConfig(refresh_interval=2.0, record_lifetime=6.0)
+        )
+        inrs = [domain.add_inr() for _ in range(3)]
+        service = domain.add_service("[service=ghost[id=1]]", resolver=inrs[0],
+                                     refresh_interval=2.0, lifetime=6.0)
+        domain.run(2.0)
+        service.stop()
+        # worst case: one lifetime per hop of the 3-INR chain
+        domain.run(30.0)
+        for inr in inrs:
+            assert inr.name_count() == 0

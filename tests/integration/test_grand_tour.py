@@ -1,0 +1,144 @@
+"""The grand tour: every major subsystem in one scenario.
+
+A domain with a replicated DSR, two virtual spaces, reliable-delta
+updates, all four applications, mobility, a resolver crash and a
+partition — asserting at each stage that the INS abstractions keep
+holding. If this test passes, the pieces compose.
+"""
+
+import pytest
+
+from repro.apps import (
+    CameraReceiver,
+    CameraTransmitter,
+    DeviceController,
+    FloorplanApp,
+    Locator,
+    PrinterClient,
+    PrinterSpooler,
+    RemoteControl,
+)
+from repro.client import MobilityManager
+from repro.experiments import InsDomain
+from repro.naming import NameSpecifier
+from repro.resolver import InrConfig
+
+from ..conftest import parse
+
+
+@pytest.fixture(scope="module")
+def tour():
+    config = InrConfig(
+        refresh_interval=3.0,
+        record_lifetime=9.0,
+        update_mode="reliable-delta",
+    )
+    domain = InsDomain(seed=999, config=config)
+    domain.add_dsr_replica(address="dsr-2")
+    inr_a = domain.add_inr(address="inr-a", vspaces=("default", "building"))
+    inr_b = domain.add_inr(address="inr-b", vspaces=("default",))
+
+    def app(cls, host, resolver, **kwargs):
+        node = domain.network.add_node(host)
+        instance = cls(node, domain.ports.allocate(),
+                       resolver=resolver.address, dsr_address="dsr-host",
+                       refresh_interval=3.0, lifetime=9.0, **kwargs)
+        instance.start()
+        return instance
+
+    locator = app(Locator, "h-loc", inr_a)
+    locator.add_map("floor-5", "MAP-5")
+    camera = app(CameraTransmitter, "h-cam", inr_a, camera_id="a",
+                 room="510", cache_lifetime=30)
+    viewer = app(CameraReceiver, "h-view", inr_b, receiver_id="r1",
+                 room="510")
+    printer = app(PrinterSpooler, "h-prn", inr_b, printer_id="lw1",
+                  room="510")
+    tv = app(DeviceController, "h-tv", inr_a, kind="tv", device_id="tv1",
+             room="510")
+    remote = app(RemoteControl, "h-rem", inr_b, user="dana")
+    user = app(FloorplanApp, "h-tab", inr_b, user="dana", region="floor-5")
+    alice = app(PrinterClient, "h-alice", inr_a, user="alice")
+    domain.run(3.0)
+    return domain, (inr_a, inr_b), {
+        "locator": locator, "camera": camera, "viewer": viewer,
+        "printer": printer, "tv": tv, "remote": remote, "user": user,
+        "alice": alice,
+    }
+
+
+class TestGrandTour:
+    def test_01_floorplan_sees_the_whole_building(self, tour):
+        domain, inrs, apps = tour
+        apps["user"].move_to_region("floor-5")
+        domain.run(1.0)
+        assert apps["user"].map_data == "MAP-5"
+        labels = apps["user"].visible_services()
+        for expected in ("camera/transmitter@510", "printer/spooler@510",
+                         "controller/tv@510", "locator/server@?"):
+            assert expected in labels
+
+    def test_02_request_response_and_caching(self, tour):
+        domain, (inr_a, inr_b), apps = tour
+        reply = apps["viewer"].request_frame()
+        domain.run(1.0)
+        assert "frame" in reply.value
+        for i in range(3):
+            domain.sim.schedule(i * 0.5, apps["viewer"].request_frame,
+                                None, True)
+        served_before = apps["camera"].requests_served
+        domain.run(3.0)
+        cache_hits = (inr_a.stats.packets_answered_from_cache
+                      + inr_b.stats.packets_answered_from_cache)
+        assert cache_hits >= 2
+        assert apps["camera"].requests_served - served_before <= 1
+
+    def test_03_printing_and_device_control(self, tour):
+        domain, inrs, apps = tour
+        job = apps["alice"].submit_best("510", size=50)
+        domain.run(1.0)
+        assert job.value["ok"]
+        power = apps["remote"].power(
+            parse("[service=controller[entity=tv]][room=510]"), on=True
+        )
+        domain.run(1.0)
+        assert power.value["powered"]
+
+    def test_04_mobility_mid_session(self, tour):
+        domain, inrs, apps = tour
+        MobilityManager(apps["camera"].node).migrate("cam-roamed")
+        domain.run(1.0)
+        reply = apps["viewer"].request_frame()
+        domain.run(1.0)
+        assert "frame" in reply.value
+
+    def test_05_resolver_crash_heals(self, tour):
+        domain, (inr_a, inr_b), apps = tour
+        inr_b.crash()
+        for name in ("viewer", "printer", "remote", "user", "alice"):
+            apps[name].reattach()
+        domain.run(90.0)  # re-attachment, expiry, re-advertisement
+        reply = apps["viewer"].request_frame()
+        domain.run(1.0)
+        assert reply.done and "frame" in reply.value
+
+    def test_06_partition_and_heal(self, tour):
+        domain, (inr_a, inr_b), apps = tour
+        side_a = [node.address for node in domain.network.nodes
+                  if node.address not in ("h-alice",)]
+        domain.network.partition(side_a, ["h-alice"])
+        domain.run(10.0)
+        domain.network.heal(side_a, ["h-alice"])
+        domain.run(5.0)
+        job = apps["alice"].submit_best("510", size=10)
+        domain.run(2.0)
+        assert job.done and job.value["ok"]
+
+    def test_07_names_consistent_across_survivors(self, tour):
+        domain, (inr_a, inr_b), apps = tour
+        reply = apps["user"].discover(NameSpecifier())
+        domain.run(1.0)
+        wires = {name.to_wire() for name, _ in reply.value}
+        assert any("service=camera" in w and "entity=transmitter" in w
+                   for w in wires)
+        assert any("service=printer" in w for w in wires)

@@ -1,0 +1,42 @@
+"""Fuzz tests: arbitrary bytes must never crash the packet decoder with
+anything other than a controlled error type."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.message import HEADER_SIZE, HeaderError, InsMessage
+from repro.naming import NameSpecifier, NamingError
+
+
+@given(data=st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_decode_raises_only_controlled_errors(data):
+    """A resolver feeds received datagrams straight into decode; a
+    malformed packet must surface as ValueError-family, never as an
+    IndexError/KeyError/UnicodeDecodeError escaping to the event loop."""
+    try:
+        InsMessage.decode(data)
+    except (HeaderError, NamingError, ValueError):
+        pass  # includes UnicodeDecodeError (a ValueError subclass)
+
+
+@given(data=st.binary(min_size=1, max_size=100))
+@settings(max_examples=200, deadline=None)
+def test_valid_prefix_with_garbage_data_section_decodes(data):
+    """The data section is opaque: any bytes there must decode fine."""
+    message = InsMessage(destination=NameSpecifier.parse("[a=b]"), data=data)
+    decoded = InsMessage.decode(message.encode())
+    assert decoded.data == data
+
+
+@given(flip_position=st.integers(min_value=0, max_value=HEADER_SIZE - 1),
+       flip_bits=st.integers(min_value=1, max_value=255))
+@settings(max_examples=200, deadline=None)
+def test_corrupted_headers_never_crash(flip_position, flip_bits):
+    message = InsMessage(destination=NameSpecifier.parse("[a=b[c=d]]"),
+                         data=b"payload")
+    encoded = bytearray(message.encode())
+    encoded[flip_position] ^= flip_bits
+    try:
+        InsMessage.decode(bytes(encoded))
+    except (HeaderError, NamingError, ValueError):
+        pass

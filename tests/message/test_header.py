@@ -1,0 +1,79 @@
+"""Tests for the fixed INS packet header (Figure 10)."""
+
+import pytest
+
+from repro.message import (
+    Binding,
+    Delivery,
+    HEADER_SIZE,
+    Header,
+    HeaderError,
+    INS_VERSION,
+)
+
+
+def make_header(**overrides) -> Header:
+    fields = dict(
+        version=INS_VERSION,
+        binding=Binding.LATE,
+        delivery=Delivery.ANYCAST,
+        source_offset=HEADER_SIZE,
+        destination_offset=HEADER_SIZE + 5,
+        data_offset=HEADER_SIZE + 12,
+        hop_limit=32,
+        cache_lifetime=0,
+    )
+    fields.update(overrides)
+    return Header(**fields)
+
+
+class TestPackUnpack:
+    def test_fixed_size(self):
+        assert len(make_header().pack()) == HEADER_SIZE
+
+    def test_round_trip_defaults(self):
+        header = make_header()
+        packed = header.pack() + b"x" * 12
+        assert Header.unpack(packed) == header
+
+    @pytest.mark.parametrize("binding", list(Binding))
+    @pytest.mark.parametrize("delivery", list(Delivery))
+    def test_flag_combinations_round_trip(self, binding, delivery):
+        header = make_header(binding=binding, delivery=delivery)
+        unpacked = Header.unpack(header.pack() + b"x" * 12)
+        assert unpacked.binding is binding
+        assert unpacked.delivery is delivery
+
+    def test_accept_cached_flag_round_trips(self):
+        header = make_header(accept_cached=True)
+        assert Header.unpack(header.pack() + b"x" * 12).accept_cached
+
+    def test_hop_limit_and_cache_lifetime_round_trip(self):
+        header = make_header(hop_limit=7, cache_lifetime=300)
+        unpacked = Header.unpack(header.pack() + b"x" * 12)
+        assert unpacked.hop_limit == 7
+        assert unpacked.cache_lifetime == 300
+
+
+class TestValidation:
+    def test_short_packet_rejected(self):
+        with pytest.raises(HeaderError, match="too short"):
+            Header.unpack(b"\x01\x00\x00")
+
+    def test_unknown_version_rejected(self):
+        bad = bytearray(make_header().pack() + b"x" * 12)
+        bad[0] = 99
+        with pytest.raises(HeaderError, match="version"):
+            Header.unpack(bytes(bad))
+
+    def test_out_of_order_offsets_rejected(self):
+        header = make_header(
+            source_offset=HEADER_SIZE + 12, destination_offset=HEADER_SIZE
+        )
+        with pytest.raises(HeaderError, match="offsets"):
+            Header.unpack(header.pack() + b"x" * 12)
+
+    def test_offsets_beyond_packet_rejected(self):
+        header = make_header(data_offset=10_000)
+        with pytest.raises(HeaderError):
+            Header.unpack(header.pack())

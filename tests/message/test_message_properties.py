@@ -1,0 +1,44 @@
+"""Property-based tests for the packet format."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.message import Binding, Delivery, InsMessage
+
+from ..naming.test_naming_properties import name_specifiers
+
+
+@given(
+    destination=name_specifiers(),
+    source=name_specifiers(),
+    data=st.binary(max_size=300),
+    binding=st.sampled_from(list(Binding)),
+    delivery=st.sampled_from(list(Delivery)),
+    hop_limit=st.integers(min_value=0, max_value=65535),
+    cache_lifetime=st.integers(min_value=0, max_value=65535),
+    accept_cached=st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_encode_decode_is_identity(
+    destination, source, data, binding, delivery, hop_limit, cache_lifetime,
+    accept_cached,
+):
+    message = InsMessage(
+        destination=destination,
+        source=source,
+        data=data,
+        binding=binding,
+        delivery=delivery,
+        hop_limit=hop_limit,
+        cache_lifetime=cache_lifetime,
+        accept_cached=accept_cached,
+    )
+    decoded = InsMessage.decode(message.encode())
+    assert decoded.destination == destination
+    assert decoded.source == source
+    assert decoded.data == data
+    assert decoded.binding is binding
+    assert decoded.delivery is delivery
+    assert decoded.hop_limit == hop_limit
+    assert decoded.cache_lifetime == cache_lifetime
+    assert decoded.accept_cached == accept_cached
+    assert message.wire_size() == len(message.encode())

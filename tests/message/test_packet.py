@@ -1,0 +1,109 @@
+"""Tests for whole INS messages (encode/decode, forwarding helpers)."""
+
+import pytest
+
+from repro.message import (
+    Binding,
+    DEFAULT_HOP_LIMIT,
+    Delivery,
+    HEADER_SIZE,
+    HeaderError,
+    InsMessage,
+)
+from repro.naming import NameSpecifier
+
+from ..conftest import parse
+
+
+def sample_message(**overrides) -> InsMessage:
+    fields = dict(
+        destination=parse("[service=camera[entity=transmitter]][room=510]"),
+        source=parse("[service=camera[entity=receiver][id=r]]"),
+        data=b"image-bytes",
+        binding=Binding.LATE,
+        delivery=Delivery.ANYCAST,
+    )
+    fields.update(overrides)
+    return InsMessage(**fields)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = sample_message()
+        decoded = InsMessage.decode(message.encode())
+        assert decoded.destination == message.destination
+        assert decoded.source == message.source
+        assert decoded.data == message.data
+        assert decoded.binding is message.binding
+        assert decoded.delivery is message.delivery
+
+    def test_empty_source_round_trips(self):
+        message = sample_message(source=NameSpecifier())
+        decoded = InsMessage.decode(message.encode())
+        assert decoded.source.is_empty
+
+    def test_binary_data_survives(self):
+        payload = bytes(range(256))
+        decoded = InsMessage.decode(sample_message(data=payload).encode())
+        assert decoded.data == payload
+
+    def test_empty_destination_rejected_on_decode(self):
+        message = sample_message(destination=parse("[a=b]"))
+        encoded = bytearray(message.encode())
+        # Forge destination_offset == data_offset (empty destination).
+        forged = sample_message()
+        forged.destination = NameSpecifier()
+        with pytest.raises((HeaderError, ValueError)):
+            InsMessage.decode(forged.encode())
+
+    def test_wire_size_matches_encoding(self):
+        message = sample_message()
+        assert message.wire_size() == len(message.encode())
+
+    def test_layout_order(self):
+        """Header, then source, then destination, then data."""
+        message = sample_message()
+        encoded = message.encode()
+        source_wire = message.source.to_wire().encode()
+        destination_wire = message.destination.to_wire().encode()
+        assert encoded[HEADER_SIZE:HEADER_SIZE + len(source_wire)] == source_wire
+        offset = HEADER_SIZE + len(source_wire)
+        assert encoded[offset:offset + len(destination_wire)] == destination_wire
+        assert encoded.endswith(message.data)
+
+    def test_caching_fields_round_trip(self):
+        message = sample_message(cache_lifetime=120, accept_cached=True)
+        decoded = InsMessage.decode(message.encode())
+        assert decoded.cache_lifetime == 120
+        assert decoded.accept_cached
+        assert decoded.wants_caching
+
+    def test_zero_cache_lifetime_disallows_caching(self):
+        assert not sample_message(cache_lifetime=0).wants_caching
+
+
+class TestForwardingHelpers:
+    def test_hop_decrement(self):
+        message = sample_message(hop_limit=5)
+        forwarded = message.hop_decremented()
+        assert forwarded.hop_limit == 4
+        assert message.hop_limit == 5  # original untouched
+
+    def test_hop_exhaustion_raises(self):
+        with pytest.raises(ValueError):
+            sample_message(hop_limit=0).hop_decremented()
+
+    def test_reply_template_inverts_names(self):
+        message = sample_message()
+        reply = message.reply_template()
+        assert reply.destination == message.source
+        assert reply.source == message.destination
+        assert reply.delivery is Delivery.ANYCAST
+        assert reply.hop_limit == DEFAULT_HOP_LIMIT
+        assert reply.data == b""
+
+    def test_reply_template_names_are_copies(self):
+        message = sample_message()
+        reply = message.reply_template()
+        reply.destination.add("extra", "1")
+        assert message.source != reply.destination

@@ -1,0 +1,74 @@
+"""Tests for the GET-NAME extraction algorithm (Figure 6)."""
+
+from repro.naming import NameSpecifier
+from repro.nametree import NameTree
+
+from ..conftest import OVAL_OFFICE_CAMERA, make_record, parse
+
+
+class TestGetName:
+    def test_single_pair_round_trip(self, tree):
+        record = make_record()
+        tree.insert(parse("[a=b]"), record)
+        assert tree.get_name(record) == parse("[a=b]")
+
+    def test_deep_chain_round_trip(self, tree):
+        record = make_record()
+        name = parse("[a=b[c=d[e=f[g=h]]]]")
+        tree.insert(name, record)
+        assert tree.get_name(record) == name
+
+    def test_multi_branch_round_trip(self, tree):
+        """Grafting joins fragments through shared ancestors."""
+        record = make_record()
+        name = parse("[a=b[x=1][y=2[z=3]]][c=d]")
+        tree.insert(name, record)
+        assert tree.get_name(record) == name
+
+    def test_figure_3_name_round_trips(self, tree):
+        record = make_record()
+        name = parse(OVAL_OFFICE_CAMERA)
+        tree.insert(name, record)
+        assert tree.get_name(record) == name
+
+    def test_extraction_from_superposed_tree(self, tree):
+        """Each record's name comes back exactly, even when the tree
+        superposes many names over shared nodes."""
+        names = [
+            "[a=b[c=d]]",
+            "[a=b[c=e]]",
+            "[a=b[c=d[f=g]]]",
+            "[a=z]",
+            "[q=r][a=b]",
+        ]
+        records = {}
+        for index, wire in enumerate(names):
+            record = make_record(host=f"h{index}")
+            tree.insert(parse(wire), record)
+            records[wire] = record
+        for wire, record in records.items():
+            assert tree.get_name(record) == parse(wire), wire
+
+    def test_ptrs_are_reset_between_extractions(self, tree):
+        """The transient PTR variables must not leak across calls."""
+        first = make_record("h1")
+        second = make_record("h2")
+        tree.insert(parse("[a=b[c=d]]"), first)
+        tree.insert(parse("[a=b[c=e]]"), second)
+        assert tree.get_name(first) == parse("[a=b[c=d]]")
+        assert tree.get_name(second) == parse("[a=b[c=e]]")
+        assert tree.get_name(first) == parse("[a=b[c=d]]")
+        for value_node in tree.root.walk_values():
+            assert value_node.ptr is None
+
+    def test_names_iterates_all_pairs(self, tree):
+        wires = {"[a=b]", "[c=d[e=f]]"}
+        inserted = {}
+        for wire in wires:
+            record = make_record(host=wire)
+            tree.insert(parse(wire), record)
+            inserted[wire] = record
+        extracted = {name.to_wire(): record for name, record in tree.names()}
+        assert set(extracted) == wires
+        for wire in wires:
+            assert extracted[wire] is inserted[wire]

@@ -1,0 +1,93 @@
+"""Tests for the optional subtree-index optimization."""
+
+import random
+
+import pytest
+
+from repro.experiments import UniformWorkload
+from repro.naming import NameSpecifier
+from repro.nametree import AnnouncerID, NameRecord, NameTree
+
+from ..conftest import make_record, parse
+
+
+class TestIndexMaintenance:
+    def test_aggregate_tracks_inserts(self):
+        tree = NameTree(index_subtrees=True)
+        record = make_record()
+        tree.insert(parse("[a=b[c=d]]"), record)
+        # one leaf (c=d): the root sees the record exactly once
+        assert tree.root.aggregate == {record: 1}
+
+    def test_aggregate_counts_are_per_leaf(self):
+        tree = NameTree(index_subtrees=True)
+        record = make_record()
+        tree.insert(parse("[a=b[x=1][y=2]][c=d]"), record)
+        # three leaves -> the root sees the record three times
+        assert tree.root.aggregate[record] == 3
+
+    def test_aggregate_empties_on_removal(self):
+        tree = NameTree(index_subtrees=True)
+        record = make_record()
+        tree.insert(parse("[a=b[x=1][y=2]][c=d]"), record)
+        tree.remove(record)
+        assert tree.root.aggregate == {}
+
+    def test_shared_ancestor_keeps_record_until_last_leaf_detaches(self):
+        tree = NameTree(index_subtrees=True)
+        keep = make_record("keep")
+        go = make_record("go")
+        tree.insert(parse("[a=b[x=1]]"), keep)
+        tree.insert(parse("[a=b[x=2]]"), go)
+        tree.remove(go)
+        assert keep in tree.root.aggregate
+        assert go not in tree.root.aggregate
+
+    def test_plain_tree_has_no_aggregates(self):
+        tree = NameTree()
+        tree.insert(parse("[a=b]"), make_record())
+        assert tree.root.aggregate is None
+
+
+class TestIndexEquivalence:
+    @pytest.mark.parametrize("wildcards", [0.0, 0.5])
+    def test_lookup_results_identical(self, wildcards):
+        workload_a = UniformWorkload(rng=random.Random(5))
+        workload_b = UniformWorkload(rng=random.Random(5))
+        plain = NameTree()
+        indexed = NameTree(index_subtrees=True)
+        plain_records, indexed_records = {}, {}
+        for i, (na, nb) in enumerate(
+            zip(workload_a.distinct_names(150), workload_b.distinct_names(150))
+        ):
+            rp = NameRecord(announcer=AnnouncerID.generate(f"pl{i}"))
+            ri = NameRecord(announcer=AnnouncerID.generate(f"ix{i}"))
+            plain.insert(na, rp)
+            indexed.insert(nb, ri)
+            plain_records[i], indexed_records[i] = rp, ri
+        queries = UniformWorkload(rng=random.Random(6))
+        for _ in range(60):
+            query = queries.random_query(wildcard_probability=wildcards)
+            found_plain = {
+                i for i, r in plain_records.items() if r in plain.lookup(query)
+            }
+            found_indexed = {
+                i for i, r in indexed_records.items()
+                if r in indexed.lookup(query)
+            }
+            assert found_plain == found_indexed
+
+    def test_equivalence_survives_expiry(self):
+        plain = NameTree()
+        indexed = NameTree(index_subtrees=True)
+        for i in range(40):
+            expires = 10.0 if i % 2 else 100.0
+            plain.insert(parse(f"[s=v{i % 5}[id=n{i}]]"),
+                         make_record(f"p{i}", expires_at=expires))
+            indexed.insert(parse(f"[s=v{i % 5}[id=n{i}]]"),
+                           make_record(f"i{i}", expires_at=expires))
+        plain.expire(50.0)
+        indexed.expire(50.0)
+        query = parse("[s=*]")
+        assert len(plain.lookup(query)) == len(indexed.lookup(query)) == 20
+        assert len(indexed.root.aggregate) == 20

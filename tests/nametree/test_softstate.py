@@ -1,0 +1,77 @@
+"""Tests for soft-state expiry of name-records (Section 2.2)."""
+
+import math
+
+from repro.nametree import DEFAULT_LIFETIME, NameTree
+
+from ..conftest import make_record, parse
+
+
+class TestExpiry:
+    def test_expired_records_are_removed(self, tree):
+        record = make_record(expires_at=10.0)
+        tree.insert(parse("[a=b]"), record)
+        expired = tree.expire(now=10.0)
+        assert expired == [record]
+        assert len(tree) == 0
+
+    def test_live_records_survive(self, tree):
+        record = make_record(expires_at=10.0)
+        tree.insert(parse("[a=b]"), record)
+        assert tree.expire(now=9.999) == []
+        assert len(tree) == 1
+
+    def test_expiry_prunes_branches(self, tree):
+        record = make_record(expires_at=5.0)
+        tree.insert(parse("[a=b[c=d]]"), record)
+        tree.expire(now=6.0)
+        assert tree.node_counts() == (0, 0)
+
+    def test_partial_expiry(self, tree):
+        doomed = make_record(host="doomed", expires_at=5.0)
+        survivor = make_record(host="survivor", expires_at=100.0)
+        tree.insert(parse("[a=b]"), doomed)
+        tree.insert(parse("[a=c]"), survivor)
+        tree.expire(now=50.0)
+        assert tree.lookup(parse("[a=*]")) == {survivor}
+
+    def test_refresh_extends_life(self, tree):
+        record = make_record(expires_at=5.0)
+        tree.insert(parse("[a=b]"), record)
+        record.refresh(now=4.0, lifetime=DEFAULT_LIFETIME)
+        assert tree.expire(now=6.0) == []
+        assert record.expires_at == 4.0 + DEFAULT_LIFETIME
+
+    def test_next_expiry(self, tree):
+        assert tree.next_expiry() is None
+        tree.insert(parse("[a=b]"), make_record(expires_at=7.0))
+        tree.insert(parse("[a=c]"), make_record(expires_at=3.0))
+        assert tree.next_expiry() == 3.0
+
+    def test_infinite_lifetime_never_expires(self, tree):
+        record = make_record(expires_at=math.inf)
+        tree.insert(parse("[a=b]"), record)
+        assert tree.expire(now=1e12) == []
+
+
+class TestRecordBasics:
+    def test_is_expired_boundary(self):
+        record = make_record(expires_at=10.0)
+        assert not record.is_expired(9.999)
+        assert record.is_expired(10.0)
+
+    def test_same_payload_detects_differences(self):
+        base = make_record(host="h", metric=1.0)
+        twin = make_record(host="h", metric=1.0)
+        twin.endpoints = list(base.endpoints)
+        assert base.same_payload(twin)
+        twin.anycast_metric = 2.0
+        assert not base.same_payload(twin)
+
+    def test_records_hash_by_identity_semantics(self):
+        """Two records never compare equal unless identical objects —
+        a set of records is a set of distinct announcements."""
+        a = make_record("h")
+        b = make_record("h")
+        assert a != b
+        assert len({a, b}) == 2

@@ -1,0 +1,99 @@
+"""Tests for the serial CPU model."""
+
+import pytest
+
+from repro.netsim import Cpu, Simulator
+
+
+class TestExecution:
+    def test_work_completes_after_cost(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        done = []
+        cpu.execute(0.5, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.5]
+
+    def test_work_is_serialized(self):
+        """Two jobs submitted together finish back to back."""
+        sim = Simulator()
+        cpu = Cpu(sim)
+        done = []
+        cpu.execute(0.5, lambda: done.append(sim.now))
+        cpu.execute(0.25, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.5, 0.75]
+
+    def test_idle_gap_resets_start_time(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        done = []
+        cpu.execute(0.1, lambda: done.append(sim.now))
+        sim.run()
+        sim.at(5.0, lambda: cpu.execute(0.1, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [0.1, 5.1]
+
+    def test_speed_scales_cost(self):
+        sim = Simulator()
+        fast = Cpu(sim, speed=2.0)
+        done = []
+        fast.execute(1.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.5]
+
+    def test_zero_cost_work_runs_now(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        done = []
+        cpu.execute(0.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Cpu(Simulator()).execute(-0.1, lambda: None)
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            Cpu(Simulator(), speed=0.0)
+
+
+class TestAccounting:
+    def test_busy_seconds_accumulate(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        cpu.execute(0.5, lambda: None)
+        cpu.execute(0.25, lambda: None)
+        sim.run()
+        assert cpu.busy_seconds == pytest.approx(0.75)
+        assert cpu.jobs_executed == 2
+
+    def test_utilization_over_window(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        window_start = sim.now
+        busy_at_start = cpu.busy_seconds
+        cpu.execute(1.0, lambda: None)
+        sim.run()
+        sim.run(until=2.0)
+        assert cpu.utilization(window_start, busy_at_start) == pytest.approx(0.5)
+
+    def test_utilization_can_exceed_one_under_overload(self):
+        """Backlogged work shows >100% — the Figure 8 saturation signal."""
+        sim = Simulator()
+        cpu = Cpu(sim)
+        cpu.execute(10.0, lambda: None)
+        sim.run(until=1.0)
+        assert cpu.utilization(0.0, 0.0) > 1.0
+
+    def test_backlog(self):
+        sim = Simulator()
+        cpu = Cpu(sim)
+        cpu.execute(3.0, lambda: None)
+        assert cpu.backlog == pytest.approx(3.0)
+        sim.run(until=1.0)
+        assert cpu.backlog == pytest.approx(2.0)
+        sim.run()
+        sim.run_for(1.0)
+        assert cpu.backlog == 0.0

@@ -1,0 +1,60 @@
+"""Property-based tests for the simulator's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Cpu, Simulator
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_time_never_goes_backwards(delays):
+    sim = Simulator()
+    observed = []
+    for delay in delays:
+        sim.schedule(delay, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(costs=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_cpu_serialization_invariants(costs):
+    """Total busy time equals the sum of costs; completions are ordered;
+    the makespan equals the sum when all work arrives at t=0."""
+    sim = Simulator()
+    cpu = Cpu(sim)
+    completions = []
+    for cost in costs:
+        cpu.execute(cost, lambda: completions.append(sim.now))
+    sim.run()
+    assert completions == sorted(completions)
+    assert cpu.busy_seconds == sum(costs) or abs(
+        cpu.busy_seconds - sum(costs)
+    ) < 1e-9
+    assert abs(completions[-1] - sum(costs)) < 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    until=st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+)
+@settings(max_examples=50, deadline=None)
+def test_bounded_runs_compose(seed, until):
+    """run(until=a) then run(until=b) equals one run(until=b)."""
+    def build():
+        sim = Simulator(seed=seed)
+        fired = []
+        for i in range(20):
+            sim.schedule(i * 3.7 % 49.9, fired.append, i)
+        return sim, fired
+
+    one_shot_sim, one_shot = build()
+    one_shot_sim.run(until=50.0)
+
+    split_sim, split = build()
+    split_sim.run(until=until)
+    split_sim.run(until=50.0)
+    assert split == one_shot

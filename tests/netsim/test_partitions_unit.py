@@ -1,0 +1,74 @@
+"""Unit tests for link up/down and the partition helpers."""
+
+from repro.netsim import Network, Process, Simulator
+
+
+class Sink(Process):
+    def __init__(self, node, port):
+        super().__init__(node, port)
+        self.received = []
+
+    def handle_message(self, payload, source):
+        self.received.append(payload)
+
+
+def build():
+    sim = Simulator(seed=0)
+    network = Network(sim, default_latency=0.0)
+    for name in ("a", "b", "c", "d"):
+        network.add_node(name)
+    sinks = {name: Sink(network.node(name), 9) for name in ("a", "b", "c", "d")}
+    return sim, network, sinks
+
+
+class TestLinkState:
+    def test_down_link_drops_everything(self):
+        sim, network, sinks = build()
+        network.link("a", "b").up = False
+        for _ in range(5):
+            network.send("a", "b", 9, "x", 10)
+        sim.run()
+        assert sinks["b"].received == []
+        assert network.link("a", "b").stats.drops == 5
+
+    def test_link_recovers(self):
+        sim, network, sinks = build()
+        link = network.link("a", "b")
+        link.up = False
+        network.send("a", "b", 9, "lost", 10)
+        sim.run()
+        link.up = True
+        network.send("a", "b", 9, "found", 10)
+        sim.run()
+        assert sinks["b"].received == ["found"]
+
+    def test_links_start_up(self):
+        sim, network, sinks = build()
+        assert network.link("a", "b").up
+
+
+class TestPartitionHelpers:
+    def test_partition_cuts_cross_links_only(self):
+        sim, network, sinks = build()
+        network.partition(("a", "b"), ("c", "d"))
+        network.send("a", "b", 9, "same-side", 10)
+        network.send("a", "c", 9, "cross", 10)
+        network.send("d", "b", 9, "cross-too", 10)
+        sim.run()
+        assert sinks["b"].received == ["same-side"]
+        assert sinks["c"].received == []
+
+    def test_heal_restores_cross_links(self):
+        sim, network, sinks = build()
+        network.partition(("a", "b"), ("c", "d"))
+        network.heal(("a", "b"), ("c", "d"))
+        network.send("a", "c", 9, "hello", 10)
+        sim.run()
+        assert sinks["c"].received == ["hello"]
+
+    def test_partition_is_symmetric(self):
+        sim, network, sinks = build()
+        network.partition(("a",), ("c",))
+        network.send("c", "a", 9, "reverse", 10)
+        sim.run()
+        assert sinks["a"].received == []

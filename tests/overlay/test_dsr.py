@@ -1,0 +1,155 @@
+"""Tests for the Domain Space Resolver."""
+
+import pytest
+
+from repro.netsim import Network, Process, Simulator
+from repro.overlay import (
+    DomainSpaceResolver,
+    DsrClaimCandidate,
+    DsrClaimResponse,
+    DsrDeregister,
+    DsrHeartbeat,
+    DsrListRequest,
+    DsrListResponse,
+    DsrRegisterActive,
+    DsrRegisterCandidate,
+    DsrVspaceRequest,
+    DsrVspaceResponse,
+)
+from repro.resolver.ports import DSR_PORT
+
+
+class Probe(Process):
+    def __init__(self, node, port):
+        super().__init__(node, port)
+        self.responses = []
+
+    def handle_message(self, payload, source):
+        self.responses.append(payload)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    dsr_node = network.add_node("dsr")
+    dsr = DomainSpaceResolver(dsr_node)
+    dsr.start()
+    probe_node = network.add_node("probe")
+    probe = Probe(probe_node, 7000)
+    return sim, network, dsr, probe
+
+
+def tell(network, payload):
+    network.send("probe", "dsr", DSR_PORT, payload, 28)
+
+
+class TestRegistration:
+    def test_active_list_preserves_activation_order(self, setup):
+        sim, network, dsr, probe = setup
+        for name in ("inr-c", "inr-a", "inr-b"):
+            tell(network, DsrRegisterActive(name, ("default",)))
+        sim.run_for(1.0)
+        assert dsr.active_inrs == ("inr-c", "inr-a", "inr-b")
+
+    def test_reregistration_keeps_position(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        tell(network, DsrRegisterActive("inr-b", ("default",)))
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        sim.run_for(1.0)
+        assert dsr.active_inrs == ("inr-a", "inr-b")
+
+    def test_candidate_promotion_removes_from_candidates(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterCandidate("node-x"))
+        sim.run_for(1.0)
+        assert dsr.candidates == ("node-x",)
+        tell(network, DsrRegisterActive("node-x", ("default",)))
+        sim.run_for(1.0)
+        assert dsr.candidates == ()
+        assert "node-x" in dsr.active_inrs
+
+    def test_active_node_not_added_as_candidate(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        tell(network, DsrRegisterCandidate("inr-a"))
+        sim.run_for(1.0)
+        assert dsr.candidates == ()
+
+    def test_deregistration(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        tell(network, DsrDeregister("inr-a"))
+        sim.run_for(1.0)
+        assert dsr.active_inrs == ()
+
+    def test_vspace_map_tracks_registrations(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("cameras", "printers")))
+        tell(network, DsrRegisterActive("inr-b", ("cameras",)))
+        sim.run_for(1.0)
+        assert dsr.resolvers_for("cameras") == ("inr-a", "inr-b")
+        assert dsr.resolvers_for("printers") == ("inr-a",)
+        assert dsr.resolvers_for("unknown") == ()
+
+    def test_vspace_change_on_heartbeat(self, setup):
+        """Delegation shrinks an INR's vspace set; the heartbeat must
+        replace the old mapping, not accrete."""
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("cameras", "printers")))
+        tell(network, DsrHeartbeat("inr-a", ("cameras",)))
+        sim.run_for(1.0)
+        assert dsr.resolvers_for("printers") == ()
+        assert dsr.resolvers_for("cameras") == ("inr-a",)
+
+
+class TestSoftState:
+    def test_silent_active_expires(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        sim.run_for(100.0)  # lifetime is 45 s, sweep every 5 s
+        assert dsr.active_inrs == ()
+        assert dsr.resolvers_for("default") == ()
+
+    def test_heartbeats_keep_registration_alive(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        for i in range(1, 12):
+            sim.schedule(i * 10.0,
+                         lambda: tell(network, DsrHeartbeat("inr-a", ("default",))))
+        sim.run_for(110.0)
+        assert dsr.active_inrs == ("inr-a",)
+
+
+class TestQueries:
+    def test_list_request(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("default",)))
+        tell(network, DsrRegisterCandidate("spare"))
+        tell(network, DsrListRequest(reply_to="probe", reply_port=7000))
+        sim.run_for(1.0)
+        [response] = [r for r in probe.responses if isinstance(r, DsrListResponse)]
+        assert response.active == ("inr-a",)
+        assert response.candidates == ("spare",)
+
+    def test_vspace_request(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterActive("inr-a", ("cameras",)))
+        tell(network, DsrVspaceRequest(vspace="cameras", reply_to="probe",
+                                       reply_port=7000))
+        sim.run_for(1.0)
+        [response] = [r for r in probe.responses if isinstance(r, DsrVspaceResponse)]
+        assert response.resolvers == ("inr-a",)
+
+    def test_claim_grants_each_candidate_once(self, setup):
+        sim, network, dsr, probe = setup
+        tell(network, DsrRegisterCandidate("spare-1"))
+        for _ in range(2):
+            tell(network, DsrClaimCandidate(requester="probe", reply_to="probe",
+                                            reply_port=7000))
+        sim.run_for(1.0)
+        grants = [r.candidate for r in probe.responses
+                  if isinstance(r, DsrClaimResponse)]
+        assert grants == ["spare-1", ""]
+        assert dsr.candidates == ()

@@ -1,0 +1,113 @@
+"""Tests for DSR replication (Section 2.4: "may be replicated")."""
+
+import pytest
+
+from repro.experiments import DSR_HOST, InsDomain
+
+
+@pytest.fixture
+def replicated():
+    domain = InsDomain(seed=800)
+    replica = domain.add_dsr_replica(address="dsr-replica")
+    return domain, replica
+
+
+class TestReplication:
+    def test_registrations_mirror_to_replica(self, replicated):
+        domain, replica = replicated
+        domain.add_inr(address="inr-a")
+        domain.run(1.0)
+        assert replica.active_inrs == ("inr-a",)
+        assert domain.dsr.active_inrs == ("inr-a",)
+
+    def test_vspace_map_mirrors(self, replicated):
+        domain, replica = replicated
+        domain.add_inr(address="inr-a", vspaces=("cams",))
+        domain.run(1.0)
+        assert replica.resolvers_for("cams") == ("inr-a",)
+
+    def test_candidates_mirror(self, replicated):
+        domain, replica = replicated
+        domain.add_candidate("spare-1")
+        domain.run(1.0)
+        assert replica.candidates == ("spare-1",)
+
+    def test_deregistration_mirrors(self, replicated):
+        domain, replica = replicated
+        inr = domain.add_inr(address="inr-a")
+        inr.terminate()
+        domain.run(1.0)
+        assert replica.active_inrs == ()
+
+    def test_heartbeats_keep_replica_state_alive(self, replicated):
+        domain, replica = replicated
+        domain.add_inr(address="inr-a")
+        domain.run(120.0)  # several registration lifetimes
+        assert replica.active_inrs == ("inr-a",)
+
+    def test_replica_soft_state_expires_like_primary(self, replicated):
+        domain, replica = replicated
+        inr = domain.add_inr(address="inr-a")
+        inr.crash()
+        domain.run(120.0)
+        assert domain.dsr.active_inrs == ()
+        assert replica.active_inrs == ()
+
+    def test_inr_can_join_via_the_replica(self, replicated):
+        """The replica is a full DSR: joins, pings and registrations
+        against it work, and the registration flows back to the primary
+        (the replica mirrors its own writes)."""
+        domain, replica = replicated
+        domain.add_inr(address="inr-a")
+        # Point a second INR at the replica instead of the primary.
+        from repro.resolver import INR
+
+        node = domain.network.add_node("inr-b")
+        inr_b = INR(node, dsr_address="dsr-replica", config=domain.config,
+                    costs=domain.costs)
+        domain.inrs.append(inr_b)
+        inr_b.start()
+        domain.run(2.0)
+        assert inr_b.active
+        assert "inr-b" in replica.active_inrs
+        assert "inr-b" in domain.dsr.active_inrs  # mirrored back
+        # the overlay spans INRs registered at different replicas
+        assert "inr-a" in inr_b.neighbors or len(inr_b.neighbors) == 1
+
+    def test_domain_survives_primary_dsr_loss(self, replicated):
+        """INRs pointed at the replica keep bootstrapping the domain
+        after the primary DSR dies — the fault-tolerance the paper
+        wanted from replication."""
+        domain, replica = replicated
+        domain.add_inr(address="inr-a")
+        domain.run(1.0)
+        domain.dsr.stop()  # the well-known primary is gone
+        from repro.resolver import INR
+
+        node = domain.network.add_node("inr-late")
+        late = INR(node, dsr_address="dsr-replica", config=domain.config,
+                   costs=domain.costs)
+        domain.inrs.append(late)
+        late.start()
+        domain.run(15.0)
+        assert late.active
+        assert "inr-late" in replica.active_inrs
+
+    def test_claim_taken_mirrors(self, replicated):
+        domain, replica = replicated
+        inr = domain.add_inr(address="inr-a")
+        domain.add_candidate("spare-1")
+        domain.run(1.0)
+        assert replica.candidates == ("spare-1",)
+        from repro.overlay import DsrClaimCandidate
+        from repro.resolver.ports import DSR_PORT
+
+        domain.network.send(
+            "inr-a", DSR_HOST, DSR_PORT,
+            DsrClaimCandidate(requester="inr-a", reply_to="inr-a",
+                              reply_port=5678),
+            28,
+        )
+        domain.run(1.0)
+        assert domain.dsr.candidates == ()
+        assert replica.candidates == ()

@@ -1,0 +1,56 @@
+"""Tests for DSR protocol message types."""
+
+from repro.overlay import (
+    DsrClaimCandidate,
+    DsrClaimResponse,
+    DsrDeregister,
+    DsrHeartbeat,
+    DsrListRequest,
+    DsrListResponse,
+    DsrRegisterActive,
+    DsrRegisterCandidate,
+    DsrVspaceRequest,
+    DsrVspaceResponse,
+)
+
+
+class TestWireSizes:
+    def test_register_scales_with_vspaces(self):
+        small = DsrRegisterActive("inr-a", ("default",))
+        large = DsrRegisterActive("inr-a", ("a", "b", "c", "d"))
+        assert large.wire_size() > small.wire_size()
+
+    def test_list_response_scales_with_entries(self):
+        empty = DsrListResponse(request_id=1, active=(), candidates=())
+        full = DsrListResponse(
+            request_id=1, active=("a", "b", "c"), candidates=("d",)
+        )
+        assert full.wire_size() == empty.wire_size() + 4 * 16
+
+    def test_every_message_has_positive_size(self):
+        messages = [
+            DsrRegisterActive("x", ("v",)),
+            DsrRegisterCandidate("x"),
+            DsrDeregister("x"),
+            DsrHeartbeat("x", ("v",)),
+            DsrListRequest(reply_to="x", reply_port=1),
+            DsrListResponse(request_id=1, active=(), candidates=()),
+            DsrVspaceRequest(vspace="v", reply_to="x", reply_port=1),
+            DsrVspaceResponse(request_id=1, vspace="v", resolvers=()),
+            DsrClaimCandidate(requester="x", reply_to="x", reply_port=1),
+            DsrClaimResponse(request_id=1, candidate=""),
+        ]
+        for message in messages:
+            assert message.wire_size() > 0
+
+
+class TestRequestIds:
+    def test_fresh_ids_per_request(self):
+        a = DsrListRequest(reply_to="x", reply_port=1)
+        b = DsrListRequest(reply_to="x", reply_port=1)
+        assert a.request_id != b.request_id
+
+    def test_vspace_and_claim_share_sequence(self):
+        a = DsrVspaceRequest(vspace="v", reply_to="x", reply_port=1)
+        b = DsrClaimCandidate(requester="x", reply_to="x", reply_port=1)
+        assert a.request_id != b.request_id

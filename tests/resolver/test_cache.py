@@ -1,0 +1,80 @@
+"""Tests for the INR packet cache (the Section 3.2 extension)."""
+
+from repro.resolver import PacketCache
+
+from ..conftest import parse
+
+
+CAMERA = "[service=camera[entity=transmitter][id=a]][room=510]"
+
+
+class TestStoreAndLookup:
+    def test_store_then_exact_lookup(self):
+        cache = PacketCache()
+        cache.store(parse(CAMERA), b"frame-1", now=0.0, lifetime=30.0)
+        entry = cache.lookup(parse(CAMERA), now=1.0)
+        assert entry.data == b"frame-1"
+        assert cache.hits == 1
+
+    def test_intentional_match_semantics(self):
+        """A less specific request matches a cached, more specific name
+        — the whole point of naming cached objects intentionally."""
+        cache = PacketCache()
+        cache.store(parse(CAMERA), b"frame-1", now=0.0, lifetime=30.0)
+        query = parse("[service=camera[entity=transmitter]][room=510]")
+        assert cache.lookup(query, now=1.0).data == b"frame-1"
+
+    def test_miss_counts(self):
+        cache = PacketCache()
+        assert cache.lookup(parse(CAMERA), now=0.0) is None
+        assert cache.misses == 1
+
+    def test_restore_same_name_replaces(self):
+        cache = PacketCache()
+        cache.store(parse(CAMERA), b"old", now=0.0, lifetime=30.0)
+        cache.store(parse(CAMERA), b"new", now=5.0, lifetime=30.0)
+        assert len(cache) == 1
+        assert cache.lookup(parse(CAMERA), now=6.0).data == b"new"
+
+    def test_freshest_entry_wins_among_matches(self):
+        cache = PacketCache()
+        cache.store(parse("[service=camera[id=a]]"), b"older", now=0.0, lifetime=60.0)
+        cache.store(parse("[service=camera[id=b]]"), b"newer", now=5.0, lifetime=60.0)
+        assert cache.lookup(parse("[service=camera]"), now=6.0).data == b"newer"
+
+
+class TestLifetimes:
+    def test_entries_expire(self):
+        cache = PacketCache()
+        cache.store(parse(CAMERA), b"x", now=0.0, lifetime=10.0)
+        assert cache.lookup(parse(CAMERA), now=9.9) is not None
+        assert cache.lookup(parse(CAMERA), now=10.0) is None
+        assert len(cache) == 0
+
+    def test_zero_lifetime_is_not_stored(self):
+        cache = PacketCache()
+        cache.store(parse(CAMERA), b"x", now=0.0, lifetime=0.0)
+        assert len(cache) == 0
+
+    def test_wildcard_names_cannot_index_entries(self):
+        cache = PacketCache()
+        cache.store(parse("[service=camera[id=*]]"), b"x", now=0.0, lifetime=30.0)
+        assert len(cache) == 0
+
+    def test_empty_name_cannot_index_entries(self):
+        from repro.naming import NameSpecifier
+
+        cache = PacketCache()
+        cache.store(NameSpecifier(), b"x", now=0.0, lifetime=30.0)
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_capacity_evicts_oldest(self):
+        cache = PacketCache(max_entries=2)
+        cache.store(parse("[n=1]"), b"1", now=0.0, lifetime=100.0)
+        cache.store(parse("[n=2]"), b"2", now=1.0, lifetime=100.0)
+        cache.store(parse("[n=3]"), b"3", now=2.0, lifetime=100.0)
+        assert len(cache) == 2
+        assert cache.lookup(parse("[n=1]"), now=3.0) is None
+        assert cache.lookup(parse("[n=3]"), now=3.0).data == b"3"

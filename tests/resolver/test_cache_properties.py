@@ -1,0 +1,72 @@
+"""Property-based tests for the INR packet cache."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.resolver import PacketCache
+
+from ..conftest import parse
+
+names = st.integers(min_value=0, max_value=30).map(
+    lambda i: parse(f"[service=cam[id=n{i}]][room=r{i % 4}]")
+)
+
+
+@st.composite
+def cache_scripts(draw):
+    """A sequence of (op, name_index, time_step) cache operations."""
+    length = draw(st.integers(min_value=1, max_value=40))
+    return [
+        (
+            draw(st.sampled_from(["store", "lookup"])),
+            draw(st.integers(min_value=0, max_value=30)),
+            draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False)),
+        )
+        for _ in range(length)
+    ]
+
+
+@given(script=cache_scripts(), capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=150, deadline=None)
+def test_cache_invariants_under_any_operation_sequence(script, capacity):
+    cache = PacketCache(max_entries=capacity)
+    now = 0.0
+    model = {}  # wire -> (data, expires_at); over-approximates the cache
+    for op, index, step in script:
+        now += step
+        name = parse(f"[service=cam[id=n{index}]][room=r{index % 4}]")
+        if op == "store":
+            cache.store(name, f"d{index}".encode(), now=now, lifetime=10.0)
+            model[name.to_wire()] = (f"d{index}".encode(), now + 10.0)
+        else:
+            entry = cache.lookup(name, now=now)
+            if entry is not None:
+                # whatever the cache returns must be correct and fresh
+                expected, expires = model.get(name.to_wire(), (None, 0))
+                assert entry.data == expected
+                assert expires > now
+        # capacity invariant holds at every step
+        assert len(cache) <= capacity
+
+
+@given(count=st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_everything_stored_is_found_before_expiry(count):
+    cache = PacketCache(max_entries=count)  # exactly enough room
+    for i in range(count):
+        cache.store(parse(f"[k=v{i}]"), f"d{i}".encode(), now=0.0, lifetime=60.0)
+    for i in range(count):
+        entry = cache.lookup(parse(f"[k=v{i}]"), now=59.0)
+        assert entry is not None
+        assert entry.data == f"d{i}".encode()
+
+
+@given(count=st.integers(min_value=2, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_nothing_survives_expiry(count):
+    cache = PacketCache(max_entries=count)
+    for i in range(count):
+        cache.store(parse(f"[k=v{i}]"), b"x", now=float(i), lifetime=5.0)
+    assert cache.lookup(parse("[k=*]"), now=float(count) + 5.0) is None
+    assert len(cache) == 0

@@ -1,0 +1,192 @@
+"""Tests for the name discovery protocol between INRs (Section 2.2)."""
+
+import pytest
+
+from repro.experiments import InsDomain
+from repro.nametree import AnnouncerID, Endpoint
+from repro.resolver import InrConfig, NameUpdate, UpdateBatch
+from repro.resolver.ports import INR_PORT
+
+from ..conftest import parse
+
+
+@pytest.fixture
+def pair():
+    """Two peered INRs."""
+    domain = InsDomain(seed=3)
+    a = domain.add_inr(address="inr-a")
+    b = domain.add_inr(address="inr-b")
+    return domain, a, b
+
+
+def send_update(domain, target, sender, wire, announcer, metric=0.0,
+                route_metric=0.0, lifetime=45.0, vspace="default"):
+    update = NameUpdate(
+        name=parse(wire),
+        announcer=announcer,
+        endpoints=(Endpoint("svc-host", 7),),
+        anycast_metric=metric,
+        route_metric=route_metric,
+        lifetime=lifetime,
+        vspace=vspace,
+    )
+    domain.network.send(
+        sender, target.address, INR_PORT,
+        UpdateBatch(sender=sender, updates=[update], triggered=True),
+        update.wire_size(),
+    )
+    domain.run(0.5)
+
+
+class TestAdvertisementHandling:
+    def test_local_advertisement_grafts(self, pair):
+        domain, a, b = pair
+        domain.add_service("[service=x[id=1]]", resolver=a)
+        domain.run(0.5)
+        assert a.name_count() == 1
+        record = next(iter(a.trees["default"].lookup(parse("[service=x]"))))
+        assert record.route.is_local
+
+    def test_triggered_update_propagates_immediately(self, pair):
+        domain, a, b = pair
+        domain.add_service("[service=x[id=1]]", resolver=a)
+        domain.run(0.5)  # well inside one refresh interval
+        assert b.name_count() == 1
+        record = next(iter(b.trees["default"].lookup(parse("[service=x]"))))
+        assert record.route.next_hop == a.address
+        assert not record.route.is_local
+
+    def test_pure_refresh_does_not_retrigger(self, pair):
+        domain, a, b = pair
+        service = domain.add_service("[service=x[id=1]]", resolver=a,
+                                     refresh_interval=1.0)
+        domain.run(0.5)
+        sent_after_first = a.stats.triggered_updates_sent
+        domain.run(5.0)  # several refreshes, no new information
+        assert a.stats.triggered_updates_sent == sent_after_first
+
+    def test_metric_change_triggers(self, pair):
+        domain, a, b = pair
+        service = domain.add_service("[service=x[id=1]]", resolver=a, metric=5.0)
+        domain.run(0.5)
+        before = a.stats.triggered_updates_sent
+        service.set_metric(1.0)
+        domain.run(0.5)
+        assert a.stats.triggered_updates_sent > before
+        record = next(iter(b.trees["default"].lookup(parse("[service=x]"))))
+        assert record.anycast_metric == 1.0
+
+    def test_service_rename_replaces_name_everywhere(self, pair):
+        domain, a, b = pair
+        service = domain.add_service("[service=x[id=1]][room=510]", resolver=a)
+        domain.run(0.5)
+        service.rename(parse("[service=x[id=1]][room=520]"))
+        domain.run(0.5)
+        for inr in (a, b):
+            tree = inr.trees["default"]
+            assert not tree.lookup(parse("[room=510]"))
+            assert len(tree.lookup(parse("[room=520]"))) == 1
+
+
+class TestBellmanFord:
+    def test_better_metric_adopted(self, pair):
+        domain, a, b = pair
+        announcer = AnnouncerID.generate("origin")
+        peer = b.address
+        # a learns the name via b at a high route metric...
+        send_update(domain, a, peer, "[service=far]", announcer, route_metric=5.0)
+        record = a.trees["default"].record_for(announcer)
+        first_metric = record.route.metric
+        # ...then a cheaper path appears through a brand-new neighbor.
+        domain.network.add_node("inr-c")
+        from repro.resolver.protocol import PeerRequest
+
+        domain.network.send("inr-c", a.address, INR_PORT,
+                            PeerRequest("inr-c", measured_rtt=0.001), 28)
+        domain.run(0.5)
+        send_update(domain, a, "inr-c", "[service=far]", announcer, route_metric=0.5)
+        record = a.trees["default"].record_for(announcer)
+        assert record.route.next_hop == "inr-c"
+        assert record.route.metric < first_metric
+
+    def test_worse_metric_from_other_neighbor_ignored(self, pair):
+        domain, a, b = pair
+        announcer = AnnouncerID.generate("origin")
+        send_update(domain, a, b.address, "[service=far]", announcer,
+                    route_metric=0.5)
+        domain.network.add_node("other")
+        send_update(domain, a, "other", "[service=far]", announcer,
+                    route_metric=50.0)
+        record = a.trees["default"].record_for(announcer)
+        assert record.route.next_hop == b.address
+
+    def test_worse_news_from_current_next_hop_accepted(self, pair):
+        domain, a, b = pair
+        announcer = AnnouncerID.generate("origin")
+        send_update(domain, a, b.address, "[service=far]", announcer,
+                    route_metric=0.5)
+        send_update(domain, a, b.address, "[service=far]", announcer,
+                    route_metric=9.0)
+        record = a.trees["default"].record_for(announcer)
+        assert record.route.metric > 9.0  # worsened, still via b
+
+    def test_reflected_update_never_displaces_local_service(self, pair):
+        domain, a, b = pair
+        service = domain.add_service("[service=x[id=1]]", resolver=a)
+        domain.run(0.5)
+        announcer = service.announcer
+        send_update(domain, a, b.address, "[service=x[id=1]]", announcer,
+                    route_metric=0.0)
+        record = a.trees["default"].record_for(announcer)
+        assert record.route.is_local
+
+    def test_update_for_unrouted_vspace_is_dropped(self, pair):
+        domain, a, b = pair
+        announcer = AnnouncerID.generate("origin")
+        send_update(domain, a, b.address, "[service=x][vspace=exotic]",
+                    announcer, vspace="exotic")
+        assert a.name_count() == 0
+
+
+class TestSplitHorizon:
+    def test_route_not_echoed_to_its_source(self, pair):
+        """b announced the name to a; a's periodic updates back to b must
+        omit it (split horizon) — otherwise b would learn a phantom
+        2-hop route to its own service."""
+        domain, a, b = pair
+        domain.add_service("[service=x[id=1]]", resolver=b)
+        domain.run(0.5)
+        # run past a periodic update round
+        domain.run(domain.config.refresh_interval * 1.5)
+        record = b.trees["default"].lookup(parse("[service=x]"))
+        assert len(record) == 1
+        assert next(iter(record)).route.is_local
+
+
+class TestSoftStateAcrossInrs:
+    def test_dead_service_expires_at_origin_then_downstream(self):
+        domain = InsDomain(
+            seed=4, config=InrConfig(refresh_interval=2.0, record_lifetime=6.0)
+        )
+        a = domain.add_inr(address="inr-a")
+        b = domain.add_inr(address="inr-b")
+        service = domain.add_service("[service=x[id=1]]", resolver=a,
+                                     refresh_interval=2.0, lifetime=6.0)
+        domain.run(1.0)
+        assert b.name_count() == 1
+        service.stop()
+        domain.run(7.0)
+        assert a.name_count() == 0  # origin expired within one lifetime
+        domain.run(8.0)
+        assert b.name_count() == 0  # downstream one lifetime later
+
+    def test_periodic_updates_keep_remote_names_alive(self):
+        domain = InsDomain(
+            seed=5, config=InrConfig(refresh_interval=2.0, record_lifetime=6.0)
+        )
+        a = domain.add_inr(address="inr-a")
+        b = domain.add_inr(address="inr-b")
+        domain.add_service("[service=x[id=1]]", resolver=a,
+                           refresh_interval=2.0, lifetime=6.0)
+        domain.run(30.0)  # many lifetimes
+        assert b.name_count() == 1

@@ -1,0 +1,61 @@
+"""Tests for the overlay neighbor table."""
+
+from repro.resolver import NeighborTable
+from repro.resolver.neighbors import UNMEASURED_RTT
+
+
+class TestNeighborTable:
+    def test_add_and_lookup(self):
+        table = NeighborTable()
+        neighbor = table.add("inr-2", rtt=0.01)
+        assert "inr-2" in table
+        assert table.get("inr-2") is neighbor
+        assert len(table) == 1
+
+    def test_add_keeps_best_rtt(self):
+        table = NeighborTable()
+        table.add("inr-2", rtt=0.05)
+        table.add("inr-2", rtt=0.01)
+        assert table.rtt_to("inr-2") == 0.01
+        table.add("inr-2", rtt=0.09)
+        assert table.rtt_to("inr-2") == 0.01
+
+    def test_parent_flag_is_sticky(self):
+        table = NeighborTable()
+        table.add("inr-2", is_parent=True)
+        table.add("inr-2")
+        assert table.parent.address == "inr-2"
+
+    def test_no_parent_by_default(self):
+        table = NeighborTable()
+        table.add("inr-2")
+        assert table.parent is None
+
+    def test_unknown_rtt_is_unmeasured(self):
+        assert NeighborTable().rtt_to("stranger") == UNMEASURED_RTT
+
+    def test_remove(self):
+        table = NeighborTable()
+        table.add("inr-2")
+        removed = table.remove("inr-2")
+        assert removed.address == "inr-2"
+        assert "inr-2" not in table
+        assert table.remove("inr-2") is None
+
+    def test_heard_from_and_silence(self):
+        table = NeighborTable()
+        table.add("inr-2")
+        table.add("inr-3")
+        table.heard_from("inr-2", now=100.0)
+        silent = table.silent_since(cutoff=50.0)
+        assert [n.address for n in silent] == ["inr-3"]
+
+    def test_heard_from_unknown_is_noop(self):
+        NeighborTable().heard_from("stranger", now=1.0)
+
+    def test_iteration_and_addresses(self):
+        table = NeighborTable()
+        table.add("a")
+        table.add("b")
+        assert table.addresses == ("a", "b")
+        assert {n.address for n in table} == {"a", "b"}

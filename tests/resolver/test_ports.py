@@ -1,0 +1,29 @@
+"""Tests for well-known ports and the ephemeral allocator."""
+
+from repro.resolver import DSR_PORT, EPHEMERAL_BASE, INR_PORT, PortAllocator
+
+
+class TestWellKnownPorts:
+    def test_ports_are_distinct(self):
+        assert INR_PORT != DSR_PORT
+
+    def test_ephemeral_range_clears_well_known(self):
+        assert EPHEMERAL_BASE > max(INR_PORT, DSR_PORT)
+
+
+class TestPortAllocator:
+    def test_allocations_are_unique_and_increasing(self):
+        allocator = PortAllocator()
+        ports = [allocator.allocate() for _ in range(10)]
+        assert len(set(ports)) == 10
+        assert ports == sorted(ports)
+        assert ports[0] == EPHEMERAL_BASE
+
+    def test_custom_base(self):
+        allocator = PortAllocator(base=40000)
+        assert allocator.allocate() == 40000
+
+    def test_independent_allocators_do_not_interfere(self):
+        a = PortAllocator()
+        b = PortAllocator()
+        assert a.allocate() == b.allocate()

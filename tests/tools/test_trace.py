@@ -1,0 +1,84 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro.experiments import InsDomain
+from repro.tools import ProtocolTrace
+
+from ..conftest import parse
+
+
+@pytest.fixture
+def traced_domain():
+    domain = InsDomain(seed=310)
+    trace = ProtocolTrace(keep_payloads=True).attach(domain.network)
+    inr = domain.add_inr()
+    service = domain.add_service("[service=x[id=1]]", resolver=inr)
+    client = domain.add_client(resolver=inr)
+    domain.run(1.0)
+    return domain, trace, inr, service, client
+
+
+class TestTracing:
+    def test_advertisements_are_observed(self, traced_domain):
+        domain, trace, inr, service, client = traced_domain
+        assert trace.count("Advertisement") >= 1
+
+    def test_data_path_observed(self, traced_domain):
+        domain, trace, inr, service, client = traced_domain
+        before = trace.count("DataPacket")
+        client.send_anycast(parse("[service=x]"), b"payload")
+        domain.run(1.0)
+        # client -> INR plus INR -> service tunnel
+        assert trace.count("DataPacket") == before + 2
+
+    def test_between_filters_endpoints(self, traced_domain):
+        domain, trace, inr, service, client = traced_domain
+        client.send_anycast(parse("[service=x]"), b"payload")
+        domain.run(1.0)
+        hops = trace.between(client.address, inr.address)
+        assert any(event.kind == "DataPacket" for event in hops)
+
+    def test_payload_retention_switch(self):
+        domain = InsDomain(seed=311)
+        trace = ProtocolTrace(keep_payloads=False).attach(domain.network)
+        domain.add_inr()
+        assert all(event.payload is None for event in trace.events)
+
+    def test_since_filters_by_time(self, traced_domain):
+        domain, trace, inr, service, client = traced_domain
+        cutoff = domain.now
+        client.send_anycast(parse("[service=x]"), b"p")
+        domain.run(1.0)
+        assert all(event.time >= cutoff for event in trace.since(cutoff))
+
+    def test_total_bytes_accumulates(self, traced_domain):
+        domain, trace, inr, service, client = traced_domain
+        assert trace.total_bytes() > 0
+        assert trace.total_bytes("Advertisement") > 0
+
+    def test_detach_restores_send(self):
+        domain = InsDomain(seed=312)
+        trace = ProtocolTrace().attach(domain.network)
+        trace.detach()
+        count = trace.count()
+        domain.add_inr()
+        assert trace.count() == count  # no longer recording
+
+    def test_double_attach_rejected(self):
+        domain = InsDomain(seed=313)
+        trace = ProtocolTrace().attach(domain.network)
+        with pytest.raises(RuntimeError):
+            trace.attach(domain.network)
+
+    def test_render_shows_events(self, traced_domain):
+        domain, trace, inr, service, client = traced_domain
+        text = trace.render(limit=5)
+        assert "->" in text
+
+    def test_capacity_bounds_memory(self):
+        domain = InsDomain(seed=314)
+        trace = ProtocolTrace(capacity=3).attach(domain.network)
+        domain.add_inr()
+        domain.run(5.0)
+        assert len(trace.events) == 3
