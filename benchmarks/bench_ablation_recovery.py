@@ -1,0 +1,69 @@
+"""Ablation — soft-state clocks vs recovery time (MTTR) and bandwidth.
+
+The paper's robustness story (§2.2, §2.4) is that every piece of INS
+state is soft, so crash recovery is just the refresh/timeout clocks
+running their course. The corollary is a tradeoff the paper never
+quantifies: slower clocks cost less control bandwidth but stretch
+every recovery path. This ablation drives the chaos harness through a
+(refresh interval, neighbor timeout) sweep — each point runs the
+standard fault plan (INR crashes with restarts, link flaps, noisy
+links, a DSR failover) — and reports detection time, repair time and
+control bandwidth per point.
+"""
+
+import math
+
+from _report import record_table
+
+from repro.chaos import run_recovery_ablation
+
+
+def test_ablation_recovery_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_recovery_ablation(
+            sweep=((1.0, 3.0), (2.0, 6.0), (4.0, 12.0)),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "Ablation: soft-state clocks vs recovery "
+        "(5 INRs, crash+restart / flaps / noisy links / DSR failover)",
+        ["refresh (s)", "nbr timeout (s)", "crash detect p100 (s)",
+         "crash MTTR p50 (s)", "crash MTTR p100 (s)",
+         "failover MTTR (s)", "control bytes/s"],
+        [
+            (
+                f"{row.refresh_interval:.0f}",
+                f"{row.neighbor_timeout:.0f}",
+                f"{row.crash_detect_p100:.2f}",
+                f"{row.crash_mttr_p50:.2f}",
+                f"{row.crash_mttr_p100:.2f}",
+                f"{row.failover_mttr_p100:.2f}",
+                f"{row.control_bytes_per_second:.0f}",
+            )
+            for row in rows
+        ],
+    )
+    # Every fault at every sweep point must actually heal: an inf here
+    # means a crashed resolver never fully rejoined or a failed-over
+    # DSR never reconverged on the live set.
+    for row in rows:
+        assert math.isfinite(row.crash_detect_p100)
+        assert math.isfinite(row.crash_mttr_p50)
+        assert math.isfinite(row.crash_mttr_p100)
+        assert math.isfinite(row.failover_mttr_p100)
+        assert row.violations == 0
+    # Slower clocks -> cheaper control plane but slower failure
+    # detection; repair time is monotone too (restart delay floor plus
+    # a refresh-interval-bound name rebuild).
+    bandwidths = [row.control_bytes_per_second for row in rows]
+    detects = [row.crash_detect_p100 for row in rows]
+    repairs = [row.crash_mttr_p100 for row in rows]
+    assert bandwidths == sorted(bandwidths, reverse=True)
+    assert detects == sorted(detects)
+    assert repairs == sorted(repairs)
+    # The 4x clock span should move both sides of the tradeoff
+    # materially, not within noise.
+    assert bandwidths[0] / bandwidths[-1] > 2
+    assert detects[-1] / detects[0] > 2

@@ -1,0 +1,43 @@
+"""Chaos harness: scheduled fault plans, invariant checking, MTTR.
+
+The paper argues INS survives failures because *everything* is soft
+state (§2.2, §2.4): names expire, neighbors time out, DSR registrations
+need heartbeats. This package turns that claim into an executable
+test: generate a deterministic fault timeline from a seed
+(:class:`FaultPlan`), replay it into a live domain
+(:class:`ChaosController`), assert the global invariants the design
+promises (:class:`InvariantChecker`), and measure how long every repair
+takes (:class:`RecoveryTracker`, :func:`percentile`).
+
+:func:`run_chaos_scenario` wires all four together;
+:func:`run_recovery_ablation` sweeps the soft-state clocks against
+recovery time and control bandwidth.
+"""
+
+from .invariants import InvariantChecker, Violation
+from .plan import FAULT_KINDS, ChaosController, FaultEvent, FaultPlan
+from .recovery import RecoveryRecord, RecoveryTracker, percentile
+from .scenario import (
+    ChaosReport,
+    RecoveryAblationRow,
+    fast_chaos_config,
+    run_chaos_scenario,
+    run_recovery_ablation,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosController",
+    "ChaosReport",
+    "FaultEvent",
+    "FaultPlan",
+    "InvariantChecker",
+    "RecoveryAblationRow",
+    "RecoveryRecord",
+    "RecoveryTracker",
+    "Violation",
+    "fast_chaos_config",
+    "percentile",
+    "run_chaos_scenario",
+    "run_recovery_ablation",
+]

@@ -1,0 +1,232 @@
+"""Canned chaos scenarios and the recovery-time ablation.
+
+:func:`run_chaos_scenario` is the standard stress: it builds a domain,
+generates a seed-driven :class:`~repro.chaos.plan.FaultPlan` that
+crashes a fraction of the resolvers (with restarts), flaps a fraction
+of the overlay links, injects duplication/reordering, and fails the DSR
+over to a warm standby — all while the always-invariants are sampled —
+then waits out the convergence bound and checks the converged
+invariants. The returned report carries a :meth:`fingerprint
+<ChaosReport.fingerprint>` so two runs with the same seed can be
+compared bit-for-bit.
+
+:func:`run_recovery_ablation` sweeps the soft-state clocks (refresh
+interval and neighbor timeout) through that scenario and reports MTTR
+percentiles against control-bandwidth cost — the robustness analogue of
+the paper's bandwidth/staleness tradeoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..experiments.domain import InsDomain
+from ..resolver import InrConfig
+from .invariants import InvariantChecker, Violation
+from .plan import ChaosController, FaultPlan
+from .recovery import RecoveryTracker
+
+
+def fast_chaos_config(
+    refresh_interval: float = 1.0,
+    neighbor_timeout: float = 4.0,
+) -> InrConfig:
+    """Soft-state clocks scaled down ~15x from the paper's defaults so a
+    whole fault-and-recovery cycle fits in a short simulated run; the
+    three-refreshes-per-lifetime soft-state rule is preserved."""
+    return InrConfig(
+        refresh_interval=refresh_interval,
+        record_lifetime=3.0 * refresh_interval,
+        expiry_sweep_interval=max(0.5, refresh_interval / 2.0),
+        heartbeat_interval=max(0.5, refresh_interval * 2.0 / 3.0),
+        neighbor_timeout=neighbor_timeout,
+    )
+
+
+@dataclass
+class ChaosReport:
+    """Everything a chaos run observed."""
+
+    seed: int
+    faults_applied: int
+    fault_kinds: Tuple[str, ...]
+    violations: List[Violation]
+    converged_violations: List[Violation]
+    invariant_samples: int
+    mttr: Dict[str, Dict[str, float]]
+    final_active: Tuple[str, ...]
+    final_name_counts: Tuple[Tuple[str, int], ...]
+    control_bytes: int
+    sim_time: float
+
+    @property
+    def all_violations(self) -> List[Violation]:
+        return self.violations + self.converged_violations
+
+    def fingerprint(self) -> Tuple:
+        """A deterministic digest of the run: two executions with the
+        same seed and topology must produce identical fingerprints."""
+        mttr_items = tuple(
+            (kind, tuple(sorted((k, round(v, 6)) for k, v in stats.items())))
+            for kind, stats in sorted(self.mttr.items())
+        )
+        return (
+            self.seed,
+            self.faults_applied,
+            self.fault_kinds,
+            tuple(str(v) for v in self.all_violations),
+            mttr_items,
+            self.final_active,
+            self.final_name_counts,
+            self.control_bytes,
+            round(self.sim_time, 6),
+        )
+
+
+def run_chaos_scenario(
+    seed: int = 0,
+    n_inrs: int = 6,
+    n_services: int = 4,
+    chaos_duration: float = 30.0,
+    crash_fraction: float = 0.3,
+    flap_fraction: float = 0.2,
+    restart_after: Optional[float] = 8.0,
+    dsr_failover: bool = True,
+    link_fault_fraction: float = 0.2,
+    config: Optional[InrConfig] = None,
+    invariant_interval: float = 1.0,
+    settle: float = 3.0,
+) -> ChaosReport:
+    """Run the standard chaos scenario and return its report.
+
+    The domain gets one warm DSR replica, ``n_inrs`` resolvers and
+    ``n_services`` services round-robined across them. The fault plan
+    is generated from ``seed`` over the overlay's mutual peer edges and
+    the service attachment links, so every fault hits a link or node
+    that actually carries protocol traffic.
+    """
+    config = config or fast_chaos_config()
+    domain = InsDomain(
+        seed=seed,
+        config=config,
+        dsr_registration_lifetime=3.0 * config.heartbeat_interval,
+        dsr_sweep_interval=max(0.5, config.heartbeat_interval / 2.0),
+    )
+    domain.add_dsr_replica()
+    inrs = [domain.add_inr() for _ in range(n_inrs)]
+    for index in range(n_services):
+        domain.add_service(
+            f"[service=chaos[id={index}]]",
+            resolver=inrs[index % n_inrs],
+            refresh_interval=config.refresh_interval,
+            lifetime=config.record_lifetime,
+        )
+    domain.run(settle)
+
+    # Fault surface: overlay edges plus each service's resolver link.
+    link_pairs = set()
+    for inr in domain.live_inrs:
+        for neighbor in inr.neighbors.addresses:
+            link_pairs.add(tuple(sorted((inr.address, neighbor))))
+    for service in domain.services:
+        if service.resolver is not None:
+            link_pairs.add(tuple(sorted((service.address, service.resolver))))
+
+    plan = FaultPlan.random(
+        seed=seed,
+        inr_addresses=[inr.address for inr in inrs],
+        link_pairs=sorted(link_pairs),
+        duration=chaos_duration,
+        crash_fraction=crash_fraction,
+        flap_fraction=flap_fraction,
+        restart_after=restart_after,
+        dsr_failover=dsr_failover,
+        link_fault_fraction=link_fault_fraction,
+    )
+    tracker = RecoveryTracker(domain, poll_interval=0.25)
+    checker = InvariantChecker(domain).install(invariant_interval)
+    controller = ChaosController(domain, tracker=tracker)
+    controller.execute(plan)
+
+    domain.run(chaos_duration)
+    bound = checker.convergence_bound()
+    domain.run(bound)
+    checker.uninstall()
+    tracker.stop()
+    converged = checker.check_converged()
+
+    return ChaosReport(
+        seed=seed,
+        faults_applied=len(controller.applied),
+        fault_kinds=plan.kinds,
+        violations=list(checker.violations),
+        converged_violations=converged,
+        invariant_samples=checker.samples_taken,
+        mttr=tracker.mttr_summary(),
+        final_active=domain.dsr.active_inrs,
+        final_name_counts=tuple(
+            (inr.address, inr.name_count()) for inr in domain.live_inrs
+        ),
+        control_bytes=sum(link.stats.bytes for _pair, link in domain.network.links),
+        sim_time=domain.now,
+    )
+
+
+# ----------------------------------------------------------------------
+# Recovery-time ablation (refresh interval / neighbor timeout sweep)
+# ----------------------------------------------------------------------
+@dataclass
+class RecoveryAblationRow:
+    """One sweep point of the recovery ablation."""
+
+    refresh_interval: float
+    neighbor_timeout: float
+    crash_detect_p100: float
+    crash_mttr_p50: float
+    crash_mttr_p100: float
+    failover_mttr_p100: float
+    control_bytes_per_second: float
+    violations: int
+
+
+def run_recovery_ablation(
+    sweep: Tuple[Tuple[float, float], ...] = ((1.0, 3.0), (2.0, 6.0), (4.0, 12.0)),
+    seed: int = 7,
+    n_inrs: int = 5,
+    n_services: int = 3,
+    chaos_duration: float = 25.0,
+) -> List[RecoveryAblationRow]:
+    """Sweep (refresh interval, neighbor timeout) against recovery time
+    and bandwidth.
+
+    The expected shape: slower soft-state clocks cut control bandwidth
+    roughly proportionally but stretch every recovery path — crashed
+    resolvers linger on peers until the neighbor timeout, and restarted
+    ones wait a full refresh for their names to come back.
+    """
+    rows = []
+    for refresh_interval, neighbor_timeout in sweep:
+        report = run_chaos_scenario(
+            seed=seed,
+            n_inrs=n_inrs,
+            n_services=n_services,
+            chaos_duration=chaos_duration,
+            config=fast_chaos_config(refresh_interval, neighbor_timeout),
+            dsr_failover=True,
+        )
+        crash = report.mttr.get("crash-inr", {})
+        failover = report.mttr.get("dsr-failover", {})
+        rows.append(
+            RecoveryAblationRow(
+                refresh_interval=refresh_interval,
+                neighbor_timeout=neighbor_timeout,
+                crash_detect_p100=crash.get("detect_p100", float("nan")),
+                crash_mttr_p50=crash.get("p50", float("nan")),
+                crash_mttr_p100=crash.get("p100", float("nan")),
+                failover_mttr_p100=failover.get("p100", float("nan")),
+                control_bytes_per_second=report.control_bytes / report.sim_time,
+                violations=len(report.all_violations),
+            )
+        )
+    return rows

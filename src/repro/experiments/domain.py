@@ -41,6 +41,8 @@ class InsDomain:
         default_loss_rate: float = 0.0,
         config: Optional[InrConfig] = None,
         costs: Optional[CostModel] = None,
+        dsr_registration_lifetime: Optional[float] = None,
+        dsr_sweep_interval: Optional[float] = None,
     ) -> None:
         self.sim = Simulator(seed=seed)
         self.network = Network(
@@ -53,8 +55,13 @@ class InsDomain:
         self.costs = costs or DEFAULT_COSTS
         self.ports = PortAllocator()
         self._counters: Dict[str, itertools.count] = {}
+        self._dsr_kwargs: Dict[str, float] = {}
+        if dsr_registration_lifetime is not None:
+            self._dsr_kwargs["registration_lifetime"] = dsr_registration_lifetime
+        if dsr_sweep_interval is not None:
+            self._dsr_kwargs["sweep_interval"] = dsr_sweep_interval
         dsr_node = self.network.add_node(DSR_HOST)
-        self.dsr = DomainSpaceResolver(dsr_node)
+        self.dsr = DomainSpaceResolver(dsr_node, **self._dsr_kwargs)
         self.dsr.start()
         self.inrs: List[INR] = []
         self.services: List[Service] = []
@@ -125,11 +132,71 @@ class InsDomain:
         "may be replicated for fault-tolerance"). Returns the replica
         process; point INRs or clients at its address to use it."""
         node = self._node_for(address, "dsr-replica")
-        replica = DomainSpaceResolver(node, peers=(DSR_HOST,))
+        replica = DomainSpaceResolver(node, peers=(DSR_HOST,), **self._dsr_kwargs)
         replica.start()
         self.dsr.add_peer(node.address)
         self.dsr_replicas.append(replica)
         return replica
+
+    # ------------------------------------------------------------------
+    # Chaos hooks: crash, restart, failover
+    # ------------------------------------------------------------------
+    def inr_at(self, address: str) -> Optional[INR]:
+        """The most recent INR hosted at ``address`` (live or crashed)."""
+        found = None
+        for inr in self.inrs:
+            if inr.address == address:
+                found = inr
+        return found
+
+    @property
+    def live_inrs(self) -> List[INR]:
+        """Every INR that is currently up (not crashed or terminated)."""
+        return [inr for inr in self.inrs if not inr.terminated]
+
+    def crash_inr(self, target: Union[str, INR]) -> INR:
+        """Fail a resolver silently (no goodbye, no deregistration)."""
+        inr = self.inr_at(target) if isinstance(target, str) else target
+        if inr is None:
+            raise ValueError(f"no INR at {target!r}")
+        inr.crash()
+        return inr
+
+    def restart_inr(self, target: Union[str, INR]) -> INR:
+        """Bring a crashed resolver back up on the same node."""
+        inr = self.inr_at(target) if isinstance(target, str) else target
+        if inr is None:
+            raise ValueError(f"no INR at {target!r}")
+        inr.restart()
+        return inr
+
+    def fail_over_dsr(self) -> DomainSpaceResolver:
+        """Kill the primary DSR and promote a standby onto the
+        well-known address.
+
+        The promoted process is seeded from the first live replica's
+        state (a warm standby); with no replicas it starts empty and the
+        INRs' soft-state heartbeats rebuild the registration state
+        within one heartbeat interval. Replicas keep mirroring to the
+        well-known address, so they now feed the new primary.
+        """
+        self.dsr.stop()
+        node = self.network.node(DSR_HOST)
+        live_replicas = [
+            replica
+            for replica in self.dsr_replicas
+            if replica.node.process_on(DSR_PORT) is replica
+        ]
+        promoted = DomainSpaceResolver(
+            node,
+            peers=tuple(replica.address for replica in live_replicas),
+            **self._dsr_kwargs,
+        )
+        if live_replicas:
+            promoted.adopt(live_replicas[0].snapshot())
+        promoted.start()
+        self.dsr = promoted
+        return promoted
 
     def add_candidate(self, address: Optional[str] = None) -> str:
         """Create a spare node and register it as an INR candidate."""

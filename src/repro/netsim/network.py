@@ -27,28 +27,54 @@ class LinkStats:
     messages: int = 0
     bytes: int = 0
     drops: int = 0
+    duplicates: int = 0
+    reorders: int = 0
 
 
 class Link:
     """A symmetric point-to-point channel between two nodes."""
 
-    __slots__ = ("latency", "bandwidth_bps", "loss_rate", "up", "stats")
+    __slots__ = (
+        "latency",
+        "bandwidth_bps",
+        "loss_rate",
+        "duplicate_rate",
+        "reorder_rate",
+        "reorder_delay",
+        "up",
+        "stats",
+    )
 
     def __init__(
         self,
         latency: float,
         bandwidth_bps: float,
         loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_delay: float = 0.05,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        for label, rate in (("loss", loss_rate), ("duplicate", duplicate_rate),
+                            ("reorder", reorder_rate)):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError(f"{label} rate must be in [0, 1), got {rate}")
+        if reorder_delay < 0:
+            raise ValueError(f"reorder delay must be non-negative, got {reorder_delay}")
         self.latency = latency
         self.bandwidth_bps = bandwidth_bps
         self.loss_rate = loss_rate
+        #: Probability a datagram is delivered twice (duplicated in
+        #: flight, e.g. by a link-layer retransmission whose ack died).
+        self.duplicate_rate = duplicate_rate
+        #: Probability a datagram is held back so later traffic on the
+        #: same direction overtakes it (multi-path reordering).
+        self.reorder_rate = reorder_rate
+        #: Maximum extra holding time of a reordered datagram.
+        self.reorder_delay = reorder_delay
         #: False models a partition: every datagram on the link is lost.
         self.up = True
         self.stats = LinkStats()
@@ -169,8 +195,22 @@ class Network:
         latency: Optional[float] = None,
         bandwidth_bps: Optional[float] = None,
         loss_rate: Optional[float] = None,
+        duplicate_rate: Optional[float] = None,
+        reorder_rate: Optional[float] = None,
+        reorder_delay: Optional[float] = None,
     ) -> Link:
         """Create or update the link between ``a`` and ``b``."""
+        # Updates bypass Link.__init__, so validate up front (before any
+        # mutation): a rate of 1.0 would turn the RNG draw into an
+        # unconditional branch.
+        for label, rate in (("loss", loss_rate), ("duplicate", duplicate_rate),
+                            ("reorder", reorder_rate)):
+            if rate is not None and not 0.0 <= rate < 1.0:
+                raise ValueError(f"{label} rate must be in [0, 1), got {rate}")
+        if reorder_delay is not None and reorder_delay < 0:
+            raise ValueError(
+                f"reorder delay must be non-negative, got {reorder_delay}"
+            )
         key = self._link_key(a, b)
         link = self._links.get(key)
         if link is None:
@@ -180,13 +220,19 @@ class Network:
                 loss_rate if loss_rate is not None else self.default_loss_rate,
             )
             self._links[key] = link
-            return link
-        if latency is not None:
-            link.latency = latency
-        if bandwidth_bps is not None:
-            link.bandwidth_bps = bandwidth_bps
-        if loss_rate is not None:
-            link.loss_rate = loss_rate
+        else:
+            if latency is not None:
+                link.latency = latency
+            if bandwidth_bps is not None:
+                link.bandwidth_bps = bandwidth_bps
+            if loss_rate is not None:
+                link.loss_rate = loss_rate
+        if duplicate_rate is not None:
+            link.duplicate_rate = duplicate_rate
+        if reorder_rate is not None:
+            link.reorder_rate = reorder_rate
+        if reorder_delay is not None:
+            link.reorder_delay = reorder_delay
         return link
 
     def link(self, a: str, b: str) -> Link:
@@ -196,6 +242,11 @@ class Network:
         if link is None:
             link = self.configure_link(a, b)
         return link
+
+    @property
+    def links(self) -> Tuple[Tuple[Tuple[str, str], Link], ...]:
+        """Every instantiated link with its (sorted) endpoint pair."""
+        return tuple(self._links.items())
 
     def partition(self, side_a, side_b) -> None:
         """Cut every link between the two groups of addresses."""
@@ -242,14 +293,31 @@ class Network:
             link.stats.drops += 1
             return
         delay = link.transfer_delay(size_bytes)
+        direction = (source, destination)
+        if link.reorder_rate > 0 and self.sim.rng.random() < link.reorder_rate:
+            # Reordering: hold this datagram back without advancing the
+            # direction's FIFO clamp, so traffic sent later overtakes it.
+            link.stats.reorders += 1
+            held = self.sim.now + delay + self.sim.rng.uniform(0.0, link.reorder_delay)
+            self.sim.at(
+                held, self._deliver, destination, port, payload, source, size_bytes
+            )
+            return
         # FIFO per direction: arrival times on one path never decrease,
         # so a short datagram cannot overtake a long one sent earlier.
-        direction = (source, destination)
         arrival = max(self.sim.now + delay, self._last_arrival.get(direction, 0.0))
         self._last_arrival[direction] = arrival
         self.sim.at(
             arrival, self._deliver, destination, port, payload, source, size_bytes
         )
+        if link.duplicate_rate > 0 and self.sim.rng.random() < link.duplicate_rate:
+            # Duplication: a second copy arrives one transmission later,
+            # as if a link-layer retransmission fired despite delivery.
+            link.stats.duplicates += 1
+            self.sim.at(
+                arrival + link.transfer_delay(size_bytes) - link.latency,
+                self._deliver, destination, port, payload, source, size_bytes,
+            )
 
     def _deliver(
         self, destination: str, port: int, payload: Any, source: str, size_bytes: int

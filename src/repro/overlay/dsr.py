@@ -91,12 +91,49 @@ class DomainSpaceResolver(Process):
         if address != self.address and address not in self.peers:
             self.peers = self.peers + (address,)
 
+    # ------------------------------------------------------------------
+    # State transfer (failover promotion)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> tuple:
+        """A copyable view of the registration state, for promoting a
+        standby after the primary dies."""
+        return (
+            tuple(
+                (entry.address, entry.vspaces, entry.expires_at)
+                for entry in self._active.values()
+            ),
+            tuple(self._candidates),
+        )
+
+    def adopt(self, snapshot: tuple) -> None:
+        """Replace this DSR's state with ``snapshot`` (from a replica).
+
+        Adopted registrations keep their expiry times: state the dead
+        primary believed in is honored only as long as its soft-state
+        lease, then the INRs' own heartbeats take over.
+        """
+        actives, candidates = snapshot
+        self._active = {
+            address: _ActiveEntry(address, tuple(vspaces), expires_at)
+            for address, vspaces, expires_at in actives
+        }
+        self._candidates = list(candidates)
+        self._vspace_map = {}
+        for address, vspaces, _expires_at in actives:
+            for vspace in vspaces:
+                self._vspace_map.setdefault(vspace, set()).add(address)
+
     def start(self) -> None:
         self.every(self._sweep_interval, self._sweep_expired)
 
     # ------------------------------------------------------------------
     # Introspection (used by experiments and tests)
     # ------------------------------------------------------------------
+    @property
+    def registration_lifetime(self) -> float:
+        """How long a registration lives without a heartbeat."""
+        return self._lifetime
+
     @property
     def active_inrs(self) -> Tuple[str, ...]:
         """Active INR addresses, in activation (linear) order."""

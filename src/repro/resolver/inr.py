@@ -65,7 +65,14 @@ _PING_PROBE = NameSpecifier.from_dict({"service": "inr-ping"})
 
 @dataclass
 class InrStats:
-    """Operation counters exposed for experiments and tests."""
+    """Operation counters exposed for experiments and tests.
+
+    Packet drops are kept per cause so chaos runs can attribute loss:
+    a burst of ``drops_no_route`` during a crash means routes were
+    flushed before refreshes re-installed them, while
+    ``drops_expired_record`` means soft state aged out faster than the
+    service refreshed. ``packets_dropped`` stays available as the sum.
+    """
 
     lookups: int = 0
     update_names_processed: int = 0
@@ -73,11 +80,50 @@ class InrStats:
     packets_delivered_locally: int = 0
     packets_forwarded: int = 0
     packets_forwarded_foreign_vspace: int = 0
-    packets_dropped: int = 0
     packets_answered_from_cache: int = 0
     triggered_updates_sent: int = 0
     periodic_updates_sent: int = 0
     queries_served: int = 0
+    #: no record matched the destination name
+    drops_no_route: int = 0
+    #: records matched but every one had outlived its soft-state lifetime
+    drops_expired_record: int = 0
+    #: foreign-vspace payload with no DSR or no resolver for the vspace
+    drops_foreign_vspace: int = 0
+    #: packet reached a crashed/terminated resolver process
+    drops_terminated: int = 0
+    #: unparsable packet, or early binding without a source name
+    drops_malformed: int = 0
+    #: matched record carried no endpoints to deliver to
+    drops_no_endpoint: int = 0
+    #: hop limit reached zero before delivery
+    drops_hop_limit: int = 0
+
+    @property
+    def packets_dropped(self) -> int:
+        """Total packets dropped, across every cause."""
+        return (
+            self.drops_no_route
+            + self.drops_expired_record
+            + self.drops_foreign_vspace
+            + self.drops_terminated
+            + self.drops_malformed
+            + self.drops_no_endpoint
+            + self.drops_hop_limit
+        )
+
+    def drops_by_cause(self) -> Dict[str, int]:
+        """Nonzero drop counters keyed by cause name."""
+        causes = {
+            "no-route": self.drops_no_route,
+            "expired-record": self.drops_expired_record,
+            "foreign-vspace": self.drops_foreign_vspace,
+            "terminated": self.drops_terminated,
+            "malformed": self.drops_malformed,
+            "no-endpoint": self.drops_no_endpoint,
+            "hop-limit": self.drops_hop_limit,
+        }
+        return {cause: count for cause, count in causes.items() if count}
 
 
 @dataclass
@@ -112,6 +158,11 @@ class INR(Process):
         self.dsr_address = dsr_address
         self.spawner = spawner
         self.was_spawned = was_spawned
+        #: the vspaces this resolver was configured with; a restart after
+        #: a crash comes back routing these (delegations are forgotten).
+        self._initial_vspaces: Tuple[str, ...] = tuple(vspaces)
+        #: how many times this resolver was restarted after a crash
+        self.restarts = 0
         self.trees: Dict[str, NameTree] = {v: NameTree(vspace=v) for v in vspaces}
         self.neighbors = NeighborTable()
         self.monitor = LoadMonitor()
@@ -196,6 +247,64 @@ class INR(Process):
         self._terminated = True
         self.stop()
 
+    def restart(self) -> None:
+        """Come back up on the same node after a crash.
+
+        Models the operator restarting a resolver process on a host
+        that rebooted: all in-memory state is gone. The restarted INR
+        re-registers with the DSR, rejoins the overlay as if starting
+        fresh, and rebuilds its name-trees from the periodic service
+        advertisements and neighbor updates that soft state keeps
+        flowing (Section 2.2) — no recovery protocol is needed.
+        """
+        if not self._terminated:
+            raise RuntimeError("restart() is only valid after crash() or terminate()")
+        if self.node.process_on(self.port) is not None:
+            raise RuntimeError(
+                f"port {self.port} on {self.address} was taken while this INR was down"
+            )
+        self._terminated = False
+        self.active = False
+        self.restarts += 1
+        self.trees = {v: NameTree(vspace=v) for v in self._initial_vspaces}
+        self.neighbors = NeighborTable()
+        self.monitor = LoadMonitor()
+        self.stats = InrStats()
+        self.cache = (
+            PacketCache(self.config.packet_cache_size)
+            if self.config.packet_cache_size > 0
+            else None
+        )
+        self._pending_pings = {}
+        self._join_rtts = {}
+        self._join_attempts = 0
+        self._joining = False
+        self._earlier_inrs = ()
+        self._vspace_cache = {}
+        self._vspace_waiting = {}
+        self._spawn_pending = False
+        self._termination_votes = None
+        self._pending_peer = None
+        self._peer_attempts = 0
+        if self._reliable is not None:
+            # Fresh channel state: sequence numbers from a previous
+            # incarnation must not be mistaken for the new one's.
+            self._reliable = ReliableChannel(
+                transmit=lambda neighbor, payload: self.send(
+                    neighbor, INR_PORT, payload
+                ),
+                deliver=self._deliver_reliable,
+                set_timer=self.set_timer,
+                retransmit_timeout=self.config.reliable_retransmit_timeout,
+            )
+        self.node.bind(self.port, self)
+        self.start()
+
+    @property
+    def terminated(self) -> bool:
+        """True after crash()/terminate() and before any restart()."""
+        return self._terminated
+
     @property
     def vspaces(self) -> Tuple[str, ...]:
         return tuple(self.trees)
@@ -238,6 +347,8 @@ class INR(Process):
     # ------------------------------------------------------------------
     def handle_message(self, payload: object, source: str) -> None:
         if self._terminated:
+            if isinstance(payload, DataPacket):
+                self.stats.drops_terminated += 1
             return
         self.neighbors.heard_from(source, self.now)
         if isinstance(payload, ReliableFrame):
@@ -454,13 +565,13 @@ class INR(Process):
             # is seen at its current cost, not its historical best.
             neighbor = self.neighbors.get(pending.address)
             if neighbor is not None:
-                neighbor.rtt = rtt
+                neighbor.observe_rtt(rtt)
             return
         elif pending.purpose == "relax":
             self._maybe_switch_parent(pending.address, rtt)
         neighbor = self.neighbors.get(pending.address)
         if neighbor is not None:
-            neighbor.rtt = min(neighbor.rtt, rtt)
+            neighbor.observe_rtt(rtt)
 
     # ------------------------------------------------------------------
     # Overlay relaxation (extension: Section 2.4 future work)
@@ -794,7 +905,7 @@ class INR(Process):
         except ValueError:
             # Malformed packet (bad header, unparsable names): a robust
             # resolver drops it rather than dying (design goal iii).
-            self.stats.packets_dropped += 1
+            self.stats.drops_malformed += 1
             return
         vspace = message.destination.vspaces()[0]
         tree = self.trees.get(vspace)
@@ -826,8 +937,16 @@ class INR(Process):
                     message.source, message.data, self.now, message.cache_lifetime
                 )
         if not records:
-            self.stats.packets_dropped += 1
+            self.stats.drops_no_route += 1
             return
+        live = [r for r in records if not r.is_expired(self.now)]
+        if not live:
+            # Every match outlived its soft-state lifetime but the sweep
+            # has not collected it yet; routing through it would target
+            # a service presumed dead.
+            self.stats.drops_expired_record += 1
+            return
+        records = live
         if message.delivery is Delivery.ANYCAST:
             self._route_anycast(tree, packet, records)
         else:
@@ -841,7 +960,7 @@ class INR(Process):
         if message.source.is_empty or not message.source.is_concrete():
             # Nowhere to send the answer: early binding over the data
             # path requires an addressable source name.
-            self.stats.packets_dropped += 1
+            self.stats.drops_malformed += 1
             return
         bindings = []
         for record in tree.lookup(message.destination):
@@ -903,7 +1022,7 @@ class INR(Process):
 
     def _deliver_local(self, tree: NameTree, packet: DataPacket, record) -> None:
         if not record.endpoints:
-            self.stats.packets_dropped += 1
+            self.stats.drops_no_endpoint += 1
             return
         endpoint = record.endpoints[0]
         self.stats.packets_delivered_locally += 1
@@ -915,7 +1034,7 @@ class INR(Process):
     def _forward_to_inr(self, packet: DataPacket, next_hop: str) -> None:
         message = packet.message
         if message.hop_limit <= 0:
-            self.stats.packets_dropped += 1
+            self.stats.drops_hop_limit += 1
             return
         forwarded = DataPacket(raw=message.hop_decremented().encode())
         self.stats.packets_forwarded += 1
@@ -933,7 +1052,7 @@ class INR(Process):
             )
             return
         if self.dsr_address is None:
-            self.stats.packets_dropped += 1
+            self.stats.drops_foreign_vspace += 1
             return
         waiting = self._vspace_waiting.setdefault(vspace, [])
         waiting.append(payload)
@@ -950,7 +1069,7 @@ class INR(Process):
         self._tally_termination_vote(response)
         waiting = self._vspace_waiting.pop(response.vspace, [])
         if not response.resolvers:
-            self.stats.packets_dropped += len(waiting)
+            self.stats.drops_foreign_vspace += len(waiting)
             return
         resolver = response.resolvers[0]
         if len(self._vspace_cache) >= self.config.vspace_cache_size:

@@ -15,19 +15,41 @@ from typing import Dict, Iterator, Optional, Tuple
 #: that unmeasured paths lose ties but finite so routing still works.
 UNMEASURED_RTT = 1.0
 
+#: Weight of the newest sample in the RTT moving average. High enough
+#: that a few pings converge on a changed link, low enough that one
+#: queueing spike does not trigger a parent switch.
+RTT_EWMA_ALPHA = 0.3
+
 
 @dataclass
 class Neighbor:
     """One overlay peer."""
 
     address: str
-    #: measured INR-to-INR round-trip metric (seconds)
+    #: smoothed INR-to-INR round-trip metric (seconds, EWMA)
     rtt: float = UNMEASURED_RTT
     #: virtual time we last received anything from this neighbor
     last_heard: float = 0.0
     #: True when this is the peer we joined the overlay through; losing
     #: it requires a re-join, losing a child does not.
     is_parent: bool = False
+    #: False until the first real RTT sample arrives.
+    measured: bool = False
+
+    def observe_rtt(self, sample: float) -> float:
+        """Fold a fresh RTT sample into the smoothed metric.
+
+        An EWMA rather than a best-ever minimum: when a link degrades
+        (congestion, CPU chaos) the routing metric must follow it back
+        up, or relaxation keeps preferring a parent that is no longer
+        close.
+        """
+        if not self.measured:
+            self.rtt = sample
+            self.measured = True
+        else:
+            self.rtt += RTT_EWMA_ALPHA * (sample - self.rtt)
+        return self.rtt
 
 
 class NeighborTable:
@@ -36,15 +58,22 @@ class NeighborTable:
     def __init__(self) -> None:
         self._neighbors: Dict[str, Neighbor] = {}
 
-    def add(self, address: str, rtt: float = UNMEASURED_RTT, is_parent: bool = False) -> Neighbor:
-        """Add or update a neighbor; keeps the best known RTT."""
+    def add(
+        self,
+        address: str,
+        rtt: Optional[float] = None,
+        is_parent: bool = False,
+    ) -> Neighbor:
+        """Add or update a neighbor; ``rtt`` (when given) is folded into
+        the smoothed metric as one sample."""
         neighbor = self._neighbors.get(address)
         if neighbor is None:
-            neighbor = Neighbor(address=address, rtt=rtt, is_parent=is_parent)
+            neighbor = Neighbor(address=address, is_parent=is_parent)
             self._neighbors[address] = neighbor
         else:
-            neighbor.rtt = min(neighbor.rtt, rtt)
             neighbor.is_parent = neighbor.is_parent or is_parent
+        if rtt is not None:
+            neighbor.observe_rtt(rtt)
         return neighbor
 
     def remove(self, address: str) -> Optional[Neighbor]:

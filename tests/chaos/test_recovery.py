@@ -1,0 +1,181 @@
+"""RecoveryTracker: fault lifecycle timestamps and MTTR statistics."""
+
+import math
+
+import pytest
+
+from repro.chaos import RecoveryRecord, RecoveryTracker, percentile
+from repro.chaos.scenario import fast_chaos_config
+from repro.experiments import InsDomain
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(samples, 0.50) == 2.0
+        assert percentile(samples, 0.95) == 4.0
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 1.0) == 4.0
+
+    def test_inf_propagates(self):
+        assert percentile([1.0, math.inf], 1.0) == math.inf
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError, match="fraction"):
+            percentile([1.0], 1.5)
+
+
+class TestRecoveryRecord:
+    def test_open_record_reports_inf(self):
+        record = RecoveryRecord(kind="crash-inr", target="inr-1",
+                                injected_at=3.0)
+        assert record.time_to_detect == math.inf
+        assert record.time_to_recover == math.inf
+
+    def test_closed_record_reports_deltas(self):
+        record = RecoveryRecord(kind="crash-inr", target="inr-1",
+                                injected_at=3.0, detected_at=5.0,
+                                recovered_at=10.0)
+        assert record.time_to_detect == 2.0
+        assert record.time_to_recover == 7.0
+
+
+def make_domain(seed=60, n_inrs=3, n_services=1):
+    config = fast_chaos_config()
+    domain = InsDomain(seed=seed, config=config, dsr_registration_lifetime=2.0,
+                       dsr_sweep_interval=0.5)
+    inrs = [domain.add_inr() for _ in range(n_inrs)]
+    for index in range(n_services):
+        domain.add_service(
+            f"[service=rec[id={index}]]",
+            resolver=inrs[index % n_inrs],
+            refresh_interval=config.refresh_interval,
+            lifetime=config.record_lifetime,
+        )
+    domain.run(2.0)
+    return domain, inrs
+
+
+class TestCrashWatch:
+    def test_crash_without_restart_recovers_when_forgotten(self):
+        domain, inrs = make_domain()
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        doomed = inrs[1]
+        doomed.crash()
+        record = tracker.watch_inr_crash(doomed)
+        domain.run(30.0)
+        assert record.detected_at is not None
+        assert record.recovered_at is not None
+        # Detection is bounded by the DSR registration lifetime plus a
+        # sweep; full forgetting additionally needs the peer timeout.
+        assert record.time_to_detect <= 2.0 + 0.5 + 0.2
+        assert record.time_to_recover >= record.time_to_detect
+        assert doomed.address not in domain.dsr.active_inrs
+        for live in domain.live_inrs:
+            assert doomed.address not in live.neighbors
+
+    def test_crash_with_restart_waits_for_names(self):
+        domain, inrs = make_domain()
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        doomed = inrs[0]  # hosts the service's records
+        doomed.crash()
+        record = tracker.watch_inr_crash_with_restart(doomed)
+        domain.run(4.0)
+        assert record.recovered_at is None  # still down
+        domain.restart_inr(doomed.address)
+        domain.run(15.0)
+        assert record.recovered_at is not None
+        revived = domain.inr_at(doomed.address)
+        assert revived.active and not revived.terminated
+        assert doomed.address in domain.dsr.active_inrs
+        # The service's record is back in the revived resolver.
+        assert revived.name_count() >= 1
+
+    def test_fast_restart_counts_recovery_even_without_detection(self):
+        """A restart quicker than any timeout: detection never fires on
+        its own, so recovery implies it (no inf MTTR for healed
+        faults)."""
+        domain, inrs = make_domain()
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        doomed = inrs[2]
+        doomed.crash()
+        record = tracker.watch_inr_crash_with_restart(doomed)
+        domain.run(0.3)  # far less than the 2 s DSR lifetime
+        domain.restart_inr(doomed.address)
+        domain.run(10.0)
+        assert record.recovered_at is not None
+        assert record.detected_at is not None
+        assert record.time_to_detect <= record.time_to_recover
+
+
+class TestLinkFlapWatch:
+    def test_flap_lifecycle(self):
+        domain, inrs = make_domain()
+        pair = (inrs[0].address, inrs[1].address)
+        link = domain.network.link(*pair)
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        link.up = False
+        record = tracker.watch_link_flap(pair)
+        domain.run(2.0)
+        assert record.detected_at is not None
+        assert record.recovered_at is None
+        link.up = True
+        domain.run(1.0)
+        assert record.recovered_at is not None
+        assert record.time_to_recover == pytest.approx(2.0, abs=0.2)
+
+
+class TestDsrFailoverWatch:
+    def test_failover_recovers_when_live_set_matches(self):
+        domain, inrs = make_domain()
+        domain.add_dsr_replica()
+        domain.run(2.0)
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        domain.fail_over_dsr()
+        record = tracker.watch_dsr_failover()
+        domain.run(10.0)
+        assert record.recovered_at is not None
+        assert set(domain.dsr.active_inrs) == {i.address for i in inrs}
+
+
+class TestTrackerMachinery:
+    def test_stop_leaves_open_watches_inf(self):
+        domain, inrs = make_domain()
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        inrs[1].crash()
+        record = tracker.watch_inr_crash_with_restart(inrs[1])
+        domain.run(1.0)
+        tracker.stop()
+        domain.run(30.0)  # no restart ever happens
+        assert record.recovered_at is None
+        summary = tracker.mttr_summary()
+        assert summary["crash-inr"]["unrecovered"] == 1.0
+        assert math.isinf(summary["crash-inr"]["p100"])
+
+    def test_mttr_summary_groups_by_kind(self):
+        domain, inrs = make_domain()
+        tracker = RecoveryTracker(domain, poll_interval=0.1)
+        pair = (inrs[0].address, inrs[1].address)
+        link = domain.network.link(*pair)
+        link.up = False
+        tracker.watch_link_flap(pair)
+        domain.run(1.0)
+        link.up = True
+        inrs[2].crash()
+        tracker.watch_inr_crash(inrs[2])
+        domain.run(30.0)
+        summary = tracker.mttr_summary()
+        assert set(summary) == {"link-flap", "crash-inr"}
+        for stats in summary.values():
+            assert stats["count"] == 1.0
+            assert stats["unrecovered"] == 0.0
+            assert math.isfinite(stats["p50"])
+            assert stats["p50"] <= stats["p95"] <= stats["p100"]
+
+    def test_poll_interval_validated(self):
+        domain, _ = make_domain(n_inrs=1, n_services=0)
+        with pytest.raises(ValueError, match="poll interval"):
+            RecoveryTracker(domain, poll_interval=0.0)

@@ -130,3 +130,97 @@ class TestCrashes:
         domain.run(30.0)
         for inr in inrs:
             assert inr.name_count() == 0
+
+
+class TestDsrFailover:
+    def test_replica_failover_under_partition(self):
+        """Partition the primary DSR away from the domain, then promote
+        a replica onto the well-known address: the promoted copy starts
+        from the replica's mirrored state and the INRs' heartbeats keep
+        it converged — joins work again immediately."""
+        domain = InsDomain(
+            seed=220,
+            config=InrConfig(refresh_interval=2.0, record_lifetime=6.0,
+                             heartbeat_interval=2.0),
+            dsr_registration_lifetime=6.0,
+            dsr_sweep_interval=1.0,
+        )
+        replica = domain.add_dsr_replica()
+        inrs = [domain.add_inr() for _ in range(3)]
+        domain.run(3.0)
+        # The replica mirrored every registration before the failure.
+        assert set(replica.active_inrs) == {i.address for i in inrs}
+
+        everyone = [i.address for i in inrs] + [replica.address]
+        domain.network.partition(("dsr-host",), everyone)
+        old_primary = domain.dsr
+        domain.run(4.0)
+        promoted = domain.fail_over_dsr()
+        domain.network.heal(("dsr-host",), everyone)
+        assert promoted is domain.dsr and promoted is not old_primary
+        # Warm start: the promoted DSR inherits the replica's view, minus
+        # whatever soft-state leases ran out while the primary was cut off.
+        assert set(promoted.active_inrs) <= {i.address for i in inrs}
+        # One heartbeat interval re-fills anything the lease dropped.
+        domain.run(3.0)
+        assert set(promoted.active_inrs) == {i.address for i in inrs}
+
+        # New resolvers can join through the promoted primary.
+        late = domain.add_inr()
+        domain.run(3.0)
+        assert late.address in promoted.active_inrs
+        assert len(late.neighbors) >= 1
+
+    def test_failover_without_replica_rebuilds_from_heartbeats(self):
+        domain = InsDomain(
+            seed=221,
+            config=InrConfig(heartbeat_interval=2.0),
+            dsr_registration_lifetime=6.0,
+            dsr_sweep_interval=1.0,
+        )
+        inrs = [domain.add_inr() for _ in range(2)]
+        domain.run(2.0)
+        promoted = domain.fail_over_dsr()
+        assert promoted.active_inrs == ()  # cold start
+        domain.run(5.0)  # > one heartbeat interval
+        assert set(promoted.active_inrs) == {i.address for i in inrs}
+
+
+class TestCrashRestart:
+    def test_parent_inr_crash_restart_rejoins_overlay(self):
+        """Crash the *parent* resolver of the overlay tree (the one the
+        others joined through), let the survivors re-form, then restart
+        it: the revived resolver rejoins as a leaf, every name comes
+        back, and the overlay is a single tree again."""
+        config = InrConfig(refresh_interval=2.0, record_lifetime=6.0,
+                           expiry_sweep_interval=1.0, heartbeat_interval=2.0,
+                           neighbor_timeout=8.0)
+        domain = InsDomain(seed=222, config=config,
+                           dsr_registration_lifetime=6.0, dsr_sweep_interval=1.0)
+        parent = domain.add_inr()  # first INR: everyone's join target
+        others = [domain.add_inr() for _ in range(3)]
+        domain.add_service("[service=x[id=1]]", resolver=parent,
+                           refresh_interval=2.0, lifetime=6.0)
+        domain.add_service("[service=x[id=2]]", resolver=others[0],
+                           refresh_interval=2.0, lifetime=6.0)
+        domain.run(3.0)
+        assert all(parent.address in o.neighbors for o in others)
+
+        parent.crash()
+        domain.run(30.0)  # timeouts fire; survivors re-form a tree
+        assert parent.address not in domain.dsr.active_inrs
+        for other in others:
+            assert parent.address not in other.neighbors
+
+        domain.restart_inr(parent.address)
+        domain.run(15.0)
+        assert parent.address in domain.dsr.active_inrs
+        assert parent.restarts == 1
+        # Rejoined the overlay bilaterally with at least one survivor.
+        assert any(
+            parent.address in o.neighbors and o.address in parent.neighbors
+            for o in others
+        )
+        # Both names propagated back everywhere, nothing stale.
+        for inr in [parent] + others:
+            assert inr.name_count() == 2

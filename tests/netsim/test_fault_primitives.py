@@ -1,0 +1,146 @@
+"""Netsim fault primitives: packet duplication and reordering."""
+
+import pytest
+
+from repro.netsim import Link, Network, Process, Simulator
+
+
+class Recorder(Process):
+    def __init__(self, node, port):
+        super().__init__(node, port)
+        self.received = []
+
+    def handle_message(self, payload, source):
+        self.received.append((payload, self.now))
+
+
+def build(seed=0, **link_kwargs):
+    sim = Simulator(seed=seed)
+    network = Network(sim, default_bandwidth_bps=1e9)
+    network.add_node("a")
+    b = network.add_node("b")
+    recorder = Recorder(b, 100)
+    link = network.configure_link("a", "b", **link_kwargs)
+    return sim, network, link, recorder
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(duplicate_rate=1.0),
+        dict(duplicate_rate=-0.1),
+        dict(reorder_rate=1.0),
+        dict(reorder_rate=-0.1),
+        dict(reorder_delay=-0.01),
+    ])
+    def test_bad_rates_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Link(latency=0.001, bandwidth_bps=1e6, **kwargs)
+
+    def test_configure_link_validates_updates_too(self):
+        """The update path bypasses Link.__init__; it must re-validate
+        (and reject before mutating anything)."""
+        _sim, network, link, _recorder = build(duplicate_rate=0.2)
+        with pytest.raises(ValueError, match="duplicate rate"):
+            network.configure_link("a", "b", duplicate_rate=1.0)
+        with pytest.raises(ValueError, match="loss rate"):
+            network.configure_link("a", "b", loss_rate=-0.5)
+        with pytest.raises(ValueError, match="reorder delay"):
+            network.configure_link("a", "b", reorder_delay=-0.01)
+        assert link.duplicate_rate == 0.2  # rejected update left no trace
+
+    def test_configure_link_sets_new_rates(self):
+        _sim, _network, link, _recorder = build(
+            duplicate_rate=0.2, reorder_rate=0.1, reorder_delay=0.3
+        )
+        assert link.duplicate_rate == 0.2
+        assert link.reorder_rate == 0.1
+        assert link.reorder_delay == 0.3
+
+
+class TestDuplication:
+    def test_duplicates_deliver_payload_twice(self):
+        sim, network, link, recorder = build(seed=4, duplicate_rate=0.99)
+        for i in range(20):
+            network.send("a", "b", 100, f"m{i}", 100)
+        sim.run()
+        # At 99% duplication nearly every datagram arrives twice.
+        assert link.stats.duplicates >= 15
+        assert len(recorder.received) == 20 + link.stats.duplicates
+
+    def test_duplicate_arrives_after_original(self):
+        sim, network, link, recorder = build(seed=4, duplicate_rate=0.99)
+        network.send("a", "b", 100, "once", 100)
+        sim.run()
+        if link.stats.duplicates:  # seed-dependent, usually true at 0.99
+            (first, t1), (second, t2) = recorder.received
+            assert first == second == "once"
+            assert t2 > t1
+
+    def test_zero_rate_never_duplicates(self):
+        sim, network, link, recorder = build(seed=4)
+        for i in range(50):
+            network.send("a", "b", 100, i, 100)
+        sim.run()
+        assert link.stats.duplicates == 0
+        assert len(recorder.received) == 50
+
+
+class TestReordering:
+    def test_reordered_stream_arrives_out_of_order(self):
+        sim, network, link, recorder = build(
+            seed=5, duplicate_rate=0.0, reorder_rate=0.4, reorder_delay=0.5
+        )
+        for i in range(40):
+            sim.schedule(i * 0.001, network.send, "a", "b", 100, i, 100)
+        sim.run()
+        payloads = [p for p, _t in recorder.received]
+        assert len(payloads) == 40  # reordering never loses datagrams
+        assert sorted(payloads) == list(range(40))
+        assert payloads != list(range(40))  # ...but order was scrambled
+        assert link.stats.reorders > 0
+
+    def test_zero_rate_preserves_fifo(self):
+        sim, network, link, recorder = build(seed=5)
+        for i in range(40):
+            sim.schedule(i * 0.001, network.send, "a", "b", 100, i, 100)
+        sim.run()
+        assert [p for p, _t in recorder.received] == list(range(40))
+        assert link.stats.reorders == 0
+
+    def test_reordering_is_deterministic_per_seed(self):
+        def arrival_order(seed):
+            sim, network, _link, recorder = build(
+                seed=seed, reorder_rate=0.4, reorder_delay=0.5
+            )
+            for i in range(30):
+                sim.schedule(i * 0.001, network.send, "a", "b", 100, i, 100)
+            sim.run()
+            return [p for p, _t in recorder.received]
+
+        assert arrival_order(6) == arrival_order(6)
+        assert arrival_order(6) != arrival_order(7)
+
+
+class TestProtocolUnderFaults:
+    def test_soft_state_survives_noisy_link(self):
+        """Duplication and reordering between a service and its INR
+        must be absorbed by the idempotent refresh protocol."""
+        from repro.experiments import InsDomain
+        from repro.resolver import InrConfig
+
+        domain = InsDomain(
+            seed=8,
+            config=InrConfig(refresh_interval=1.0, record_lifetime=3.0),
+        )
+        inr = domain.add_inr(address="inr-x")
+        service = domain.add_service("[service=noisy[id=1]]",
+                                     resolver=inr, refresh_interval=1.0,
+                                     lifetime=3.0)
+        domain.network.configure_link(
+            service.address, "inr-x", duplicate_rate=0.3, reorder_rate=0.3
+        )
+        domain.run(20.0)
+        assert inr.name_count() == 1
+        link = domain.network.link(service.address, "inr-x")
+        assert link.stats.duplicates > 0
+        assert link.stats.reorders > 0

@@ -1,7 +1,7 @@
 """Tests for the overlay neighbor table."""
 
 from repro.resolver import NeighborTable
-from repro.resolver.neighbors import UNMEASURED_RTT
+from repro.resolver.neighbors import RTT_EWMA_ALPHA, UNMEASURED_RTT
 
 
 class TestNeighborTable:
@@ -12,13 +12,29 @@ class TestNeighborTable:
         assert table.get("inr-2") is neighbor
         assert len(table) == 1
 
-    def test_add_keeps_best_rtt(self):
+    def test_first_sample_replaces_placeholder(self):
         table = NeighborTable()
+        table.add("inr-2")
+        assert table.rtt_to("inr-2") == UNMEASURED_RTT
         table.add("inr-2", rtt=0.05)
+        assert table.rtt_to("inr-2") == 0.05
+
+    def test_rtt_is_smoothed_not_pinned_to_minimum(self):
+        """A degraded link's metric recovers: repeated slow samples pull
+        the EWMA up even after a fast historical sample."""
+        table = NeighborTable()
         table.add("inr-2", rtt=0.01)
-        assert table.rtt_to("inr-2") == 0.01
-        table.add("inr-2", rtt=0.09)
-        assert table.rtt_to("inr-2") == 0.01
+        neighbor = table.get("inr-2")
+        for _ in range(30):
+            neighbor.observe_rtt(0.2)
+        assert table.rtt_to("inr-2") > 0.19  # converged near the new RTT
+
+    def test_ewma_blends_one_sample(self):
+        table = NeighborTable()
+        table.add("inr-2", rtt=0.1)
+        table.add("inr-2", rtt=0.2)
+        expected = 0.1 + RTT_EWMA_ALPHA * (0.2 - 0.1)
+        assert abs(table.rtt_to("inr-2") - expected) < 1e-12
 
     def test_parent_flag_is_sticky(self):
         table = NeighborTable()

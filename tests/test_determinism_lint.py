@@ -1,0 +1,136 @@
+"""Lint: simulation code must not consult ambient randomness or wall
+clocks.
+
+Reproducibility is load-bearing for every experiment in this repo (and
+for the chaos harness's same-seed-same-run guarantee), so all
+randomness must flow from a seeded ``random.Random`` instance — usually
+the simulator's ``rng`` — and all time from the simulator's virtual
+clock. This test AST-scans ``src/repro`` and fails on:
+
+- module-level ``random.<fn>()`` calls (the interpreter-global RNG);
+- ``time.time()`` / ``time.time_ns()`` (wall-clock timestamps);
+- the same functions smuggled in via ``from random import ...`` /
+  ``from time import time``.
+
+``random.Random(seed)`` is the sanctioned construction, and
+``time.perf_counter`` stays allowed: the figure-12 style experiments
+measure *real* CPU cost of lookups, which is a measurement of the host,
+not simulated behavior.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: random-module attributes that construct independent seeded RNGs.
+ALLOWED_RANDOM = {"Random", "SystemRandom"}
+#: time-module attributes that read the wall clock (banned); the
+#: monotonic perf counters stay allowed for host-CPU microbenchmarks.
+BANNED_TIME = {"time", "time_ns"}
+
+
+def _violations_in(path: Path, root: Path = None):
+    root = root or SRC
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+
+    # Track what names the module-level imports bind.
+    random_aliases = set()
+    time_aliases = set()
+    tainted_names = {}  # local name -> "random.randint" etc.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if alias.name == "random":
+                    random_aliases.add(bound)
+                elif alias.name == "time":
+                    time_aliases.add(bound)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_RANDOM:
+                        tainted_names[alias.asname or alias.name] = (
+                            f"random.{alias.name}"
+                        )
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in BANNED_TIME:
+                        tainted_names[alias.asname or alias.name] = (
+                            f"time.{alias.name}"
+                        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module, attr = func.value.id, func.attr
+            if module in random_aliases and attr not in ALLOWED_RANDOM:
+                violations.append(
+                    f"{path.relative_to(root)}:{node.lineno}: random.{attr}() "
+                    "uses the global RNG; draw from a seeded random.Random "
+                    "(e.g. sim.rng) instead"
+                )
+            elif module in time_aliases and attr in BANNED_TIME:
+                violations.append(
+                    f"{path.relative_to(root)}:{node.lineno}: time.{attr}() "
+                    "reads the wall clock; use the simulator's virtual now"
+                )
+        elif isinstance(func, ast.Name) and func.id in tainted_names:
+            violations.append(
+                f"{path.relative_to(root)}:{node.lineno}: "
+                f"{tainted_names[func.id]}() via from-import; use a seeded "
+                "random.Random / virtual time instead"
+            )
+    return violations
+
+
+def test_no_ambient_randomness_or_wall_clock_in_src():
+    assert SRC.is_dir()
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        violations.extend(_violations_in(path))
+    assert not violations, "\n".join(violations)
+
+
+class TestLintDetectsViolations:
+    """The lint itself must catch each banned pattern (meta-tests on
+    synthetic modules)."""
+
+    def _lint_source(self, tmp_path, source):
+        path = tmp_path / "mod.py"
+        path.write_text(source)
+        return _violations_in(path, root=tmp_path)
+
+    def test_global_random_flagged(self, tmp_path):
+        assert self._lint_source(
+            tmp_path, "import random\nx = random.randint(0, 5)\n"
+        )
+
+    def test_seeded_random_allowed(self, tmp_path):
+        assert not self._lint_source(
+            tmp_path, "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        )
+
+    def test_wall_clock_flagged(self, tmp_path):
+        assert self._lint_source(tmp_path, "import time\nt = time.time()\n")
+
+    def test_perf_counter_allowed(self, tmp_path):
+        assert not self._lint_source(
+            tmp_path, "import time\nt = time.perf_counter()\n"
+        )
+
+    def test_from_import_flagged(self, tmp_path):
+        assert self._lint_source(
+            tmp_path, "from random import randint\nx = randint(0, 5)\n"
+        )
+        assert self._lint_source(
+            tmp_path, "from time import time\nt = time()\n"
+        )
+
+    def test_aliased_module_flagged(self, tmp_path):
+        assert self._lint_source(
+            tmp_path, "import random as rnd\nx = rnd.choice([1, 2])\n"
+        )
