@@ -7,11 +7,16 @@ smooth decay is the shape to reproduce. The pytest-benchmark timing
 measures a single LOOKUP-NAME call against the largest tree.
 """
 
+import os
 import random
 
-from _report import record_table
+from _report import RESULTS_DIR, record_table
 
-from repro.experiments.fig12 import run_lookup_experiment
+from repro.experiments.fig12 import (
+    run_lookup_experiment,
+    run_memo_ablation,
+    write_bench_lookup_json,
+)
 from repro.experiments.workload import UniformWorkload
 from repro.nametree import NameTree
 
@@ -56,6 +61,48 @@ def test_fig12_lookup_curve(benchmark):
     assert growth_ns_per_name < 25.0
     # And absolute throughput comfortably beats the paper's 700/s floor.
     assert last.lookups_per_second > 5000
+
+
+def test_fig12_memo_ablation(benchmark):
+    """Cached vs uncached LOOKUP-NAME on the repeated-query workload.
+
+    An INR's resolution hot path sees the same few destination names
+    over and over between advertisement changes; the per-tree memo
+    (keyed by canonical name, invalidated by the tree epoch) turns
+    those repeats into hash hits. Emits ``BENCH_lookup.json`` with the
+    Figure-12 curve and the ablation numbers.
+    """
+    ablation = benchmark.pedantic(
+        lambda: run_memo_ablation(refresh_every=100),
+        rounds=1,
+        iterations=1,
+    )
+    curve = run_lookup_experiment(
+        name_counts=(100, 2500, 5000), lookups_per_point=500
+    )
+    payload = write_bench_lookup_json(
+        os.path.join(RESULTS_DIR, "BENCH_lookup.json"), curve, ablation
+    )
+    record_table(
+        "Ablation: lookup memo (cached vs uncached, repeated queries)",
+        ["mode", "lookups/s", "speedup"],
+        [
+            ("uncached", f"{ablation.uncached_lookups_per_second:.0f}", "1.0x"),
+            (
+                "memoized",
+                f"{ablation.cached_lookups_per_second:.0f}",
+                f"{ablation.speedup:.1f}x",
+            ),
+        ],
+    )
+    assert payload["memo_ablation"]["speedup"] == ablation.speedup
+    # The fast path must be worth having: >= 2x on repeated queries.
+    assert ablation.speedup >= 2.0
+    # Pure periodic refreshes kept the memo warm: each distinct query
+    # misses once, every other lookup hits.
+    assert ablation.memo_misses == ablation.distinct_queries
+    assert ablation.memo_invalidations == 0
+    assert ablation.refreshes_during_cached_run > 0
 
 
 def test_fig12_single_lookup_benchmark(benchmark):

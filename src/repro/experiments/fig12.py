@@ -13,10 +13,12 @@ is high throughput that decays mildly and smoothly as the tree grows.
 
 from __future__ import annotations
 
+import json
 import random
 import time
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from ..nametree import NameTree
 from .workload import UniformWorkload
@@ -40,11 +42,14 @@ def run_lookup_experiment(
     attributes_per_level: int = 2,
     seed: int = 0,
     search: str = "hash",
+    memoize: bool = False,
 ) -> List[LookupRow]:
     """Reproduce Figure 12. Returns one row per tree size.
 
     The tree is grown incrementally (names are cumulative across
-    points), matching how the paper sweeps n upward.
+    points), matching how the paper sweeps n upward. ``memoize``
+    defaults to off so the curve measures raw LOOKUP-NAME, as the paper
+    does; the memo's effect is measured by :func:`run_memo_ablation`.
     """
     counts = sorted(set(name_counts))
     rng = random.Random(seed)
@@ -65,7 +70,7 @@ def run_lookup_experiment(
     )
     queries = [query_source.random_name() for _ in range(lookups_per_point)]
 
-    tree = NameTree(search=search)
+    tree = NameTree(search=search, memoize=memoize)
     inserted = 0
     rows: List[LookupRow] = []
     from ..nametree import AnnouncerID, Endpoint, NameRecord
@@ -90,3 +95,132 @@ def run_lookup_experiment(
             )
         )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Cached-vs-uncached ablation (the resolution fast path)
+# ----------------------------------------------------------------------
+@dataclass
+class MemoAblationResult:
+    """Cached vs uncached LOOKUP-NAME on a repeated-query workload."""
+
+    names_in_tree: int
+    distinct_queries: int
+    lookups: int
+    uncached_lookups_per_second: float
+    cached_lookups_per_second: float
+    speedup: float
+    memo_hits: int
+    memo_misses: int
+    refreshes_during_cached_run: int
+    memo_invalidations: int
+
+
+def run_memo_ablation(
+    names_in_tree: int = 5000,
+    distinct_queries: int = 64,
+    lookups: int = 20000,
+    depth: int = 3,
+    attribute_range: int = 3,
+    value_range: int = 3,
+    attributes_per_level: int = 2,
+    seed: int = 0,
+    refresh_every: int = 0,
+) -> MemoAblationResult:
+    """Measure the lookup memo on the workload it is built for: a small
+    set of distinct queries issued over and over against a tree whose
+    record set is stable (or only *refreshed*, never changed).
+
+    ``refresh_every`` > 0 re-inserts an existing advertisement (a pure
+    periodic refresh) every that-many lookups during the cached run, to
+    demonstrate that refreshes keep the memo warm instead of flushing
+    it. Returns throughput for both modes plus the memo counters.
+    """
+    rng = random.Random(seed)
+    workload = UniformWorkload(
+        rng=rng,
+        depth=depth,
+        attribute_range=attribute_range,
+        value_range=value_range,
+        attributes_per_level=attributes_per_level,
+    )
+    names = workload.distinct_names(names_in_tree)
+    query_source = UniformWorkload(
+        rng=random.Random(seed + 1),
+        depth=depth,
+        attribute_range=attribute_range,
+        value_range=value_range,
+        attributes_per_level=attributes_per_level,
+    )
+    queries = [query_source.random_name() for _ in range(distinct_queries)]
+
+    from ..nametree import AnnouncerID, Endpoint, NameRecord
+
+    def build(memoize: bool) -> NameTree:
+        tree = NameTree(memoize=memoize)
+        for index, name in enumerate(names):
+            tree.insert(
+                name,
+                NameRecord(
+                    announcer=AnnouncerID.generate(f"memo-{index}", startup_time=1.0),
+                    endpoints=[Endpoint(host=f"memo-{index}", port=1)],
+                ),
+            )
+        return tree
+
+    rates = {}
+    counters = {}
+    refreshes = 0
+    for memoize in (False, True):
+        tree = build(memoize)
+        started = time.perf_counter()
+        for index in range(lookups):
+            tree.lookup(queries[index % distinct_queries])
+            if memoize and refresh_every and index % refresh_every == 0:
+                # A pure periodic refresh: same announcer, same name.
+                j = index % len(names)
+                tree.insert(
+                    names[j],
+                    NameRecord(
+                        announcer=AnnouncerID.generate(f"memo-{j}", startup_time=1.0),
+                        endpoints=[Endpoint(host=f"memo-{j}", port=1)],
+                    ),
+                )
+                refreshes += 1
+        elapsed = time.perf_counter() - started
+        rates[memoize] = lookups / elapsed
+        counters[memoize] = (tree.memo_hits, tree.memo_misses, tree.memo_invalidations)
+
+    hits, misses, invalidations = counters[True]
+    return MemoAblationResult(
+        names_in_tree=names_in_tree,
+        distinct_queries=distinct_queries,
+        lookups=lookups,
+        uncached_lookups_per_second=rates[False],
+        cached_lookups_per_second=rates[True],
+        speedup=rates[True] / rates[False],
+        memo_hits=hits,
+        memo_misses=misses,
+        refreshes_during_cached_run=refreshes,
+        memo_invalidations=invalidations,
+    )
+
+
+def write_bench_lookup_json(
+    path: Union[str, Path],
+    curve: Sequence[LookupRow],
+    ablation: Optional[MemoAblationResult] = None,
+) -> dict:
+    """Emit ``BENCH_lookup.json``: the Figure-12 curve plus the
+    cached-vs-uncached ablation, as a machine-readable perf trajectory
+    for later sessions to compare against. Returns the payload."""
+    payload = {
+        "benchmark": "fig12-lookup",
+        "schema_version": 1,
+        "curve": [asdict(row) for row in curve],
+        "memo_ablation": asdict(ablation) if ablation is not None else None,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

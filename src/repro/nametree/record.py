@@ -111,6 +111,11 @@ class NameRecord:
     #: NameTree.insert/remove, read by GET-NAME.
     attachments: list = field(default_factory=list, repr=False)
 
+    #: Canonical key of the advertised name, stored at graft time so a
+    #: refresh can detect "same name again" without re-running GET-NAME;
+    #: None while the record is not grafted anywhere.
+    advertised_key: Optional[tuple] = field(default=None, repr=False)
+
     def is_expired(self, now: float) -> bool:
         """True once the soft-state lifetime has elapsed unrefreshed."""
         return now >= self.expires_at

@@ -6,6 +6,14 @@ LOOKUP-NAME (Figure 5) and ``get_name`` implements GET-NAME (Figure 6).
 Grafting (``insert``), soft-state expiry (``expire``) and branch pruning
 keep the structure consistent as advertisements come and go.
 
+Beyond the paper, ``lookup`` memoizes its results (see
+``NameTree.__init__``): query resolution at scale is dominated by
+repeated queries over a record set that changes far less often than it
+is read, so results are cached under the query's canonical key and the
+whole memo is flushed when a tree *epoch* counter advances. The epoch
+moves only on membership changes — graft, remove, expiry — never on a
+pure refresh, so periodic soft-state refreshes keep the memo warm.
+
 One fidelity note on LOOKUP-NAME: the paper states that omitted
 attributes correspond to wild-cards for both queries and advertisements.
 When a query av-pair is a leaf but the matched value-node is not (the
@@ -17,8 +25,9 @@ to all records they correspond to, which is the same set.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..naming import AVPair, NameSpecifier, classify_value
 from .nodes import AttributeNode, ValueNode
@@ -48,6 +57,8 @@ class NameTree:
         vspace: str = "default",
         search: str = "hash",
         index_subtrees: bool = False,
+        memoize: bool = True,
+        memo_capacity: int = 1024,
     ) -> None:
         """``search`` selects how attribute/value children are found:
         ``"hash"`` (the implementation the paper measures) or
@@ -55,14 +66,36 @@ class NameTree:
         for the ablation benchmark). ``index_subtrees`` additionally
         maintains per-value-node record aggregates so wild-card unions
         cost O(result) instead of O(subtree) — an optimization ablation
-        beyond the paper.
+        beyond the paper. ``memoize`` enables the LOOKUP-NAME memo: a
+        bounded LRU of ``lookup()`` result sets keyed by the query's
+        canonical key, invalidated wholesale whenever the tree's record
+        *set* changes (pure refreshes keep it warm).
         """
         if search not in ("hash", "linear"):
             raise ValueError(f"unknown search strategy: {search!r}")
+        if memo_capacity <= 0:
+            raise ValueError("memo_capacity must be positive")
         self.vspace = vspace
         self._linear = search == "linear"
         self._root = ValueNode(value=None, parent=None, indexed=index_subtrees)
         self._by_announcer: Dict[AnnouncerID, NameRecord] = {}
+        # LOOKUP-NAME memo. The epoch counter advances only on
+        # membership changes (graft, remove, expire); the memo is
+        # flushed lazily at the next lookup that observes a newer
+        # epoch, so a burst of mutations costs one flush, not many.
+        self._memoize = memoize
+        self._memo: "OrderedDict[tuple, FrozenSet[NameRecord]]" = OrderedDict()
+        self._memo_capacity = memo_capacity
+        self._memo_epoch = 0
+        self._epoch = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_invalidations = 0
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter: advances only when the record set changes."""
+        return self._epoch
 
     # ------------------------------------------------------------------
     # Child search (hash vs linear, for the Section 5.1.1 ablation)
@@ -93,14 +126,21 @@ class NameTree:
         updated in place (a refresh), re-grafting only when the name
         itself changed (service mobility, Section 3.2). Advertisements
         must be concrete: wild-cards and ranges are query-only.
+
+        Refreshes take a fast path: the advertised name's canonical key
+        is stored on the record at graft time, so detecting "same name
+        again" is a key comparison, not a GET-NAME reconstruction. A
+        pure refresh leaves the tree epoch (and therefore the lookup
+        memo) untouched.
         """
         name.require_concrete()
         if name.is_empty:
             raise ValueError("cannot advertise an empty name-specifier")
         record.vspace = self.vspace
+        key = name.canonical_key()
         existing = self._by_announcer.get(record.announcer)
         if existing is not None:
-            if self.get_name(existing) == name:
+            if existing.advertised_key == key:
                 changed = not existing.same_payload(record)
                 existing.endpoints = list(record.endpoints)
                 existing.anycast_metric = record.anycast_metric
@@ -108,16 +148,18 @@ class NameTree:
                 existing.expires_at = record.expires_at
                 return InsertOutcome(existing, created=False, changed=changed)
             self.remove(existing)
-            self._graft(name, record)
+            self._graft(name, record, key)
             return InsertOutcome(record, created=False, changed=True)
-        self._graft(name, record)
+        self._graft(name, record, key)
         return InsertOutcome(record, created=True, changed=True)
 
-    def _graft(self, name: NameSpecifier, record: NameRecord) -> None:
+    def _graft(self, name: NameSpecifier, record: NameRecord, key: tuple) -> None:
         record.attachments = []
+        record.advertised_key = key
         for pair in name.roots:
             self._graft_pair(self._root, pair, record)
         self._by_announcer[record.announcer] = record
+        self._epoch += 1
 
     def _graft_pair(self, value_node: ValueNode, pair: AVPair, record: NameRecord) -> None:
         attribute_node = value_node.ensure_child(pair.attribute)
@@ -161,6 +203,8 @@ class NameTree:
             self._adjust_aggregates(value_node, record, -1)
             value_node.prune_upwards()
         record.attachments = []
+        record.advertised_key = None
+        self._epoch += 1
         return True
 
     def remove_announcer(self, announcer: AnnouncerID) -> Optional[NameRecord]:
@@ -194,8 +238,33 @@ class NameTree:
     # LOOKUP-NAME (Figure 5)
     # ------------------------------------------------------------------
     def lookup(self, name: NameSpecifier) -> Set[NameRecord]:
-        """All name-records whose advertisements satisfy ``name``."""
-        return set(self._lookup(self._root, name.roots))
+        """All name-records whose advertisements satisfy ``name``.
+
+        With memoization on (the default), a repeated query against an
+        unchanged record set is answered from a bounded LRU memo keyed
+        by the query's canonical key. Records are shared objects, so
+        in-place refreshes (endpoints, metrics, expiry) are visible
+        through memoized results without any invalidation.
+        """
+        if not self._memoize:
+            return set(self._lookup(self._root, name.roots))
+        if self._memo_epoch != self._epoch:
+            if self._memo:
+                self._memo.clear()
+                self.memo_invalidations += 1
+            self._memo_epoch = self._epoch
+        key = name.canonical_key()
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            self._memo.move_to_end(key)
+            return set(cached)
+        self.memo_misses += 1
+        result = set(self._lookup(self._root, name.roots))
+        if len(self._memo) >= self._memo_capacity:
+            self._memo.popitem(last=False)
+        self._memo[key] = frozenset(result)
+        return result
 
     def _lookup(self, tree_node: ValueNode, pairs: Tuple[AVPair, ...]) -> Set[NameRecord]:
         # ``None`` stands for the universal set so we never materialize

@@ -48,12 +48,27 @@ class AVPair:
     giving O(1) child lookup during name-tree operations.
     """
 
-    __slots__ = ("attribute", "value", "_children")
+    __slots__ = ("attribute", "value", "_children", "_key_cache", "_parent")
 
     def __init__(self, attribute: str, value: str) -> None:
         self.attribute = validate_token(attribute, "attribute")
         self.value = validate_token(value, "value")
         self._children: Dict[str, "AVPair"] = {}
+        # Memoized canonical_key() plus the upward link that lets a
+        # descendant mutation invalidate every ancestor's cache. An
+        # av-pair belongs to at most one parent (pair or specifier) —
+        # which the object model already implies: names are trees.
+        self._key_cache: Optional[tuple] = None
+        self._parent = None
+
+    def _invalidate_key(self) -> None:
+        # A cached ancestor implies every descendant is cached (the key
+        # is built bottom-up), so stopping at the first already-clear
+        # cache never strands a stale ancestor.
+        node = self
+        while node is not None and node._key_cache is not None:
+            node._key_cache = None
+            node = node._parent
 
     # ------------------------------------------------------------------
     # Tree construction
@@ -70,6 +85,8 @@ class AVPair:
                 f"already present under {self.attribute}={self.value}"
             )
         self._children[child.attribute] = child
+        child._parent = self
+        self._invalidate_key()
         return child
 
     def add(self, attribute: str, value: str) -> "AVPair":
@@ -113,12 +130,22 @@ class AVPair:
     # Structural equality and canonical ordering
     # ------------------------------------------------------------------
     def canonical_key(self) -> tuple:
-        """A hashable key identifying this subtree up to sibling order."""
-        return (
-            self.attribute,
-            self.value,
-            tuple(sorted(c.canonical_key() for c in self._children.values())),
-        )
+        """A hashable key identifying this subtree up to sibling order.
+
+        Cached: structural mutation (``add_child`` anywhere below)
+        invalidates the cache up the parent chain, so repeated key
+        computations — hashing, name-tree memo lookups, refresh
+        comparisons — cost one attribute read instead of a tree walk.
+        """
+        cached = self._key_cache
+        if cached is None:
+            cached = (
+                self.attribute,
+                self.value,
+                tuple(sorted(c.canonical_key() for c in self._children.values())),
+            )
+            self._key_cache = cached
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AVPair):

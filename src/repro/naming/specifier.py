@@ -30,10 +30,16 @@ NestedDict = Mapping[str, _DictValue]
 class NameSpecifier:
     """An intentional name: an ordered forest of orthogonal av-pairs."""
 
-    __slots__ = ("_roots",)
+    __slots__ = ("_roots", "_key_cache", "_parent")
 
     def __init__(self, roots: Optional[List[AVPair]] = None) -> None:
         self._roots: Dict[str, AVPair] = {}
+        # Memoized canonical_key(); root av-pairs point back here so a
+        # mutation anywhere in the name invalidates it. A specifier is
+        # never itself a child, so its _parent stays None (it exists
+        # only to terminate AVPair._invalidate_key's upward walk).
+        self._key_cache: Optional[tuple] = None
+        self._parent = None
         for root in roots or []:
             self.add_pair(root)
 
@@ -52,6 +58,8 @@ class NameSpecifier:
                 "already present"
             )
         self._roots[pair.attribute] = pair
+        pair._parent = self
+        self._key_cache = None
         return pair
 
     def add(self, attribute: str, value: str) -> AVPair:
@@ -190,8 +198,17 @@ class NameSpecifier:
     # Equality / hashing (structural, order-insensitive among siblings)
     # ------------------------------------------------------------------
     def canonical_key(self) -> tuple:
-        """A hashable key identifying the name up to sibling order."""
-        return tuple(sorted(p.canonical_key() for p in self._roots.values()))
+        """A hashable key identifying the name up to sibling order.
+
+        Cached; any ``add_pair``/``add_child`` below this name clears
+        the cache (see :meth:`AVPair.canonical_key`)."""
+        cached = self._key_cache
+        if cached is None:
+            cached = tuple(
+                sorted(p.canonical_key() for p in self._roots.values())
+            )
+            self._key_cache = cached
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, NameSpecifier):

@@ -23,12 +23,18 @@ from ..nametree import AnnouncerID, NameRecord, NameTree
 
 @dataclass
 class CacheEntry:
-    """One cached data object and its expiry."""
+    """One cached data object and its expiry.
+
+    ``stored_at`` dates the data (freshness selection among multiple
+    matches); ``last_used`` dates the entry's usefulness (LRU
+    eviction). A lookup hit touches ``last_used`` only.
+    """
 
     name: NameSpecifier
     data: bytes
     stored_at: float
     expires_at: float
+    last_used: float = 0.0
 
 
 class PacketCache:
@@ -60,16 +66,21 @@ class PacketCache:
             entry.data = data
             entry.stored_at = now
             entry.expires_at = now + lifetime
+            entry.last_used = now
             existing.expires_at = entry.expires_at
             self.stores += 1
             return
         if len(self._entries) >= self._max_entries:
-            self._evict_oldest()
+            self._evict_lru()
         announcer = AnnouncerID.generate("cache")
         record = NameRecord(announcer=announcer, expires_at=now + lifetime)
         self._index.insert(name, record)
         self._entries[announcer] = CacheEntry(
-            name=name.copy(), data=data, stored_at=now, expires_at=now + lifetime
+            name=name.copy(),
+            data=data,
+            stored_at=now,
+            expires_at=now + lifetime,
+            last_used=now,
         )
         self.stores += 1
 
@@ -82,7 +93,9 @@ class PacketCache:
             return None
         best = max(records, key=lambda r: self._entries[r.announcer].stored_at)
         self.hits += 1
-        return self._entries[best.announcer]
+        entry = self._entries[best.announcer]
+        entry.last_used = now
+        return entry
 
     def _find_record(self, name: NameSpecifier) -> Optional[NameRecord]:
         for record in self._index.lookup(name):
@@ -94,7 +107,12 @@ class PacketCache:
         for record in self._index.expire(now):
             self._entries.pop(record.announcer, None)
 
-    def _evict_oldest(self) -> None:
-        oldest = min(self._entries, key=lambda a: self._entries[a].stored_at)
-        self._entries.pop(oldest)
-        self._index.remove_announcer(oldest)
+    def _evict_lru(self) -> None:
+        victim = min(self._entries, key=lambda a: self._entries[a].last_used)
+        self._entries.pop(victim)
+        self._index.remove_announcer(victim)
+
+    @property
+    def index(self) -> NameTree:
+        """The cache's index tree (read-only use: memo statistics)."""
+        return self._index

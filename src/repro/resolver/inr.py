@@ -99,6 +99,13 @@ class InrStats:
     #: hop limit reached zero before delivery
     drops_hop_limit: int = 0
 
+    #: --- LOOKUP-NAME memo (resolution fast path) ---------------------
+    #: Aggregated over every name-tree this INR routes plus the packet
+    #: cache's index tree; refreshed after each lookup-serving path.
+    lookup_memo_hits: int = 0
+    lookup_memo_misses: int = 0
+    lookup_memo_invalidations: int = 0
+
     @property
     def packets_dropped(self) -> int:
         """Total packets dropped, across every cause."""
@@ -342,6 +349,20 @@ class INR(Process):
         """Charge ``cost`` CPU seconds, then run ``continuation``."""
         self.node.cpu.execute(cost, continuation)
 
+    def _sync_memo_stats(self) -> None:
+        """Mirror the per-tree LOOKUP-NAME memo counters into InrStats."""
+        hits = misses = invalidations = 0
+        trees = list(self.trees.values())
+        if self.cache is not None:
+            trees.append(self.cache.index)
+        for tree in trees:
+            hits += tree.memo_hits
+            misses += tree.memo_misses
+            invalidations += tree.memo_invalidations
+        self.stats.lookup_memo_hits = hits
+        self.stats.lookup_memo_misses = misses
+        self.stats.lookup_memo_invalidations = invalidations
+
     # ------------------------------------------------------------------
     # Message dispatch
     # ------------------------------------------------------------------
@@ -510,6 +531,13 @@ class INR(Process):
     def _handle_peer_request(self, request: PeerRequest) -> None:
         self.neighbors.add(request.requester, rtt=request.measured_rtt)
         self.neighbors.heard_from(request.requester, self.now)
+        if self._reliable is not None:
+            # A peering (re-)request starts a fresh conversation: the
+            # requester may be a restarted incarnation with no memory of
+            # our sequence numbers. Reset so the full table below goes
+            # out under a new epoch from sequence 1, which the peer can
+            # always accept.
+            self._reliable.reset(request.requester)
         self.send(request.requester, INR_PORT, PeerAccept(self.address))
         self._send_full_table(request.requester)
 
@@ -863,6 +891,7 @@ class INR(Process):
             request.reply_port,
             ResolutionResponse(request_id=request.request_id, bindings=bindings),
         )
+        self._sync_memo_stats()
 
     def _handle_discovery(self, request: DiscoveryRequest) -> None:
         from ..naming import VSPACE_ATTRIBUTE
@@ -895,6 +924,7 @@ class INR(Process):
             request.reply_port,
             DiscoveryResponse(request_id=request.request_id, names=names),
         )
+        self._sync_memo_stats()
 
     # ------------------------------------------------------------------
     # The forwarding agent: late binding (Section 2.3)
@@ -951,6 +981,7 @@ class INR(Process):
             self._route_anycast(tree, packet, records)
         else:
             self._route_multicast(tree, packet, records, arrived_from=source)
+        self._sync_memo_stats()
 
     def _answer_early_binding(self, tree: NameTree, message: InsMessage) -> None:
         """Resolve the destination and send the [ip, [port, transport]]

@@ -176,6 +176,49 @@ class TestMultipleRecords:
         assert tree.lookup(parse("[a=1][b=3]")) == set()
 
 
+class TestLookupEdgeBranches:
+    """Pin down Figure 5's less-travelled branches."""
+
+    def test_early_exit_never_resurrects_via_later_constraints(self, tree):
+        """Once the candidate intersection empties, remaining query
+        pairs are skipped — and skipping must not re-admit records a
+        later constraint would have matched."""
+        record = make_record("h1")
+        tree.insert(parse("[a=1][b=2][c=3]"), record)
+        # b=9 empties the set; c=3 WOULD match but must not resurrect.
+        assert tree.lookup(parse("[a=1][b=9][c=3]")) == set()
+
+    def test_query_deeper_than_advertisement_unions_the_leaf_subtree(self, tree):
+        """When the matched value-node is an advertisement leaf, the
+        query's deeper constraints are satisfied vacuously and ALL
+        records attached below that value-node are unioned in."""
+        shallow_a = make_record("shallow-a")
+        shallow_b = make_record("shallow-b")
+        deep = make_record("deep")
+        tree.insert(parse("[service=sensor]"), shallow_a)
+        tree.insert(parse("[service=sensor]"), shallow_b)
+        tree.insert(parse("[service=sensor[unit=kelvin]]"), deep)
+        # sensor is a leaf for both shallow ads; the deeper query's
+        # [unit=celsius] is a wild-card for them but excludes the
+        # kelvin advertisement, which classifies 'unit' differently.
+        found = tree.lookup(parse("[service=sensor[unit=celsius]]"))
+        assert found == {shallow_a, shallow_b}
+
+    def test_wildcard_with_zero_matching_values_is_empty(self, tree):
+        """A wild-card/range constraint over an attribute that IS in
+        the tree but whose advertised values all fail the matcher
+        yields the empty union, not 'no constraint'."""
+        record = make_record("h1")
+        tree.insert(parse("[service=printer[room=annex]]"), record)
+        assert tree.lookup(parse("[service=printer[room=<5]]")) == set()
+
+    def test_wildcard_zero_match_then_early_exit(self, tree):
+        record = make_record("h1")
+        tree.insert(parse("[room=annex][floor=2]"), record)
+        # the empty range union triggers the early exit before floor.
+        assert tree.lookup(parse("[room=<5][floor=2]")) == set()
+
+
 class TestLinearSearchEquivalence:
     def test_hash_and_linear_agree(self):
         """The search strategy is a performance knob, never a semantic

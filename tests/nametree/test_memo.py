@@ -1,0 +1,223 @@
+"""Tests for the LOOKUP-NAME memo and its epoch invalidation.
+
+The memo is beyond the paper (see ``NameTree.__init__``): repeated
+queries against an unchanged record set are answered from a bounded
+LRU keyed by the query's canonical key. The tree epoch advances only
+on membership changes — graft, remove, expiry — so pure soft-state
+refreshes keep the memo warm. These tests pin down the counters, the
+invalidation points, the capacity bound, and (via hypothesis) that
+memoized results always equal a freshly built uncached tree's.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import UniformWorkload
+from repro.nametree import AnnouncerID, Endpoint, NameRecord, NameTree
+
+from ..conftest import make_record, parse
+
+
+def _refresh_record(host: str, expires_at: float = float("inf")) -> NameRecord:
+    """A record whose announcer is stable across calls, so re-inserting
+    one is a soft-state refresh rather than a new advertisement."""
+    return NameRecord(
+        announcer=AnnouncerID.generate(host, startup_time=1.0),
+        endpoints=[Endpoint(host=host, port=1)],
+        expires_at=expires_at,
+    )
+
+
+class TestMemoCounters:
+    def test_repeat_query_hits(self, tree):
+        tree.insert(parse("[service=camera]"), make_record("h1"))
+        query = parse("[service=camera]")
+        first = tree.lookup(query)
+        second = tree.lookup(query)
+        assert first == second
+        assert tree.memo_misses == 1
+        assert tree.memo_hits == 1
+
+    def test_structurally_equal_queries_share_an_entry(self, tree):
+        """The memo key is the canonical key: sibling order and
+        whitespace never cause a second miss."""
+        tree.insert(parse("[a=1][b=2]"), make_record("h1"))
+        tree.lookup(parse("[a=1][b=2]"))
+        tree.lookup(parse("[b=2][a=1]"))
+        assert tree.memo_hits == 1
+        assert tree.memo_misses == 1
+
+    def test_returned_set_is_a_copy(self, tree):
+        record = make_record("h1")
+        tree.insert(parse("[service=camera]"), record)
+        query = parse("[service=camera]")
+        tree.lookup(query).clear()  # caller mutates its copy
+        assert tree.lookup(query) == {record}
+
+    def test_memoize_off_never_counts(self):
+        tree = NameTree(memoize=False)
+        tree.insert(parse("[service=camera]"), make_record("h1"))
+        query = parse("[service=camera]")
+        tree.lookup(query)
+        tree.lookup(query)
+        assert tree.memo_hits == 0
+        assert tree.memo_misses == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            NameTree(memo_capacity=0)
+
+
+class TestEpochInvalidation:
+    def test_new_advertisement_flushes(self, tree):
+        tree.insert(parse("[service=camera]"), make_record("h1"))
+        query = parse("[service=camera]")
+        tree.lookup(query)
+        late = make_record("h2")
+        tree.insert(parse("[service=camera]"), late)
+        assert late in tree.lookup(query)
+        assert tree.memo_invalidations == 1
+        assert tree.memo_misses == 2
+
+    def test_remove_flushes(self, tree):
+        record = make_record("h1")
+        tree.insert(parse("[service=camera]"), record)
+        query = parse("[service=camera]")
+        tree.lookup(query)
+        tree.remove(record)
+        assert tree.lookup(query) == set()
+        assert tree.memo_invalidations == 1
+
+    def test_expire_flushes(self, tree):
+        record = make_record("h1", expires_at=10.0)
+        tree.insert(parse("[service=camera]"), record)
+        query = parse("[service=camera]")
+        assert tree.lookup(query) == {record}
+        tree.expire(now=11.0)
+        assert tree.lookup(query) == set()
+        assert tree.memo_invalidations == 1
+
+    def test_expire_with_nothing_expired_keeps_memo(self, tree):
+        tree.insert(parse("[service=camera]"), make_record("h1", expires_at=10.0))
+        query = parse("[service=camera]")
+        tree.lookup(query)
+        tree.expire(now=5.0)
+        tree.lookup(query)
+        assert tree.memo_hits == 1
+        assert tree.memo_invalidations == 0
+
+    def test_pure_refresh_keeps_memo_warm(self, tree):
+        """The tentpole property: a periodic re-advertisement of the
+        same name by the same announcer does not advance the epoch, so
+        the memo keeps answering from cache."""
+        tree.insert(parse("[service=camera]"), _refresh_record("h1", 10.0))
+        query = parse("[service=camera]")
+        tree.lookup(query)
+        epoch_before = tree.epoch
+        outcome = tree.insert(parse("[service=camera]"), _refresh_record("h1", 20.0))
+        assert not outcome.created
+        assert tree.epoch == epoch_before
+        found = tree.lookup(query)
+        assert tree.memo_hits == 1
+        assert tree.memo_invalidations == 0
+        # In-place refreshes are visible through the memoized result
+        # because records are shared objects.
+        assert {r.expires_at for r in found} == {20.0}
+
+    def test_refresh_with_new_name_flushes(self, tree):
+        """Service mobility: the same announcer advertising a different
+        name IS a membership change."""
+        tree.insert(parse("[service=camera[room=510]]"), _refresh_record("h1"))
+        old_query = parse("[service=camera[room=510]]")
+        tree.lookup(old_query)
+        tree.insert(parse("[service=camera[room=511]]"), _refresh_record("h1"))
+        assert tree.lookup(old_query) == set()
+        assert len(tree.lookup(parse("[service=camera[room=511]]"))) == 1
+        assert tree.memo_invalidations == 1
+
+
+class TestMemoCapacity:
+    def test_lru_bound(self):
+        tree = NameTree(memo_capacity=2)
+        tree.insert(parse("[service=camera]"), make_record("h1"))
+        a, b, c = parse("[x=1]"), parse("[x=2]"), parse("[x=3]")
+        tree.lookup(a)
+        tree.lookup(b)
+        tree.lookup(a)  # touch a: b becomes least recently used
+        tree.lookup(c)  # evicts b
+        assert tree.memo_misses == 3
+        tree.lookup(a)
+        tree.lookup(c)
+        assert tree.memo_hits == 3
+        tree.lookup(b)  # evicted: misses again
+        assert tree.memo_misses == 4
+
+
+def _workload(seed: int) -> UniformWorkload:
+    return UniformWorkload(
+        rng=random.Random(seed),
+        depth=2,
+        attribute_range=3,
+        value_range=3,
+        attributes_per_level=2,
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_memoized_lookup_equals_fresh_uncached_tree(seed):
+    """Under a random interleaving of insert / refresh / move / remove
+    / expire / lookup, every memoized lookup returns exactly what a
+    freshly built, uncached tree over the same live records returns."""
+    rng = random.Random(seed)
+    names = _workload(seed).distinct_names(12)
+    query_pool = [_workload(seed + 1).random_query(wildcard_probability=0.4)
+                  for _ in range(6)]
+    tree = NameTree(memo_capacity=4)  # small, so eviction is exercised
+    live = {}  # tag -> (name, expires_at)
+    clock = 0.0
+    next_tag = 0
+    for _ in range(60):
+        clock += 1.0
+        op = rng.choice(["insert", "refresh", "move", "remove", "expire",
+                         "lookup", "lookup"])
+        if op == "insert":
+            tag = f"m-{next_tag}"
+            next_tag += 1
+            name = rng.choice(names)
+            expires = clock + rng.choice([5.0, 1000.0])
+            tree.insert(name, _refresh_record(tag, expires))
+            live[tag] = (name, expires)
+        elif op == "refresh" and live:
+            tag = rng.choice(sorted(live))
+            name, _ = live[tag]
+            expires = clock + 1000.0
+            tree.insert(name, _refresh_record(tag, expires))
+            live[tag] = (name, expires)
+        elif op == "move" and live:
+            tag = rng.choice(sorted(live))
+            name = rng.choice(names)
+            expires = clock + 1000.0
+            tree.insert(name, _refresh_record(tag, expires))
+            live[tag] = (name, expires)
+        elif op == "remove" and live:
+            tag = rng.choice(sorted(live))
+            removed = tree.remove_announcer(
+                AnnouncerID.generate(tag, startup_time=1.0)
+            )
+            assert removed is not None
+            del live[tag]
+        elif op == "expire":
+            tree.expire(clock)
+            live = {tag: entry for tag, entry in live.items()
+                    if entry[1] > clock}
+        elif op == "lookup":
+            query = rng.choice(query_pool)
+            fresh = NameTree(memoize=False)
+            for tag, (name, expires) in live.items():
+                fresh.insert(name, _refresh_record(tag, expires))
+            expected = {r.announcer for r in fresh.lookup(query)}
+            assert {r.announcer for r in tree.lookup(query)} == expected
+    assert len(tree) == len(live)

@@ -117,6 +117,24 @@ class TestEqualityAndCopy:
         duplicate.root("a").add("c", "3")
         assert duplicate != original
 
+    def test_cached_canonical_key_tracks_mutation(self):
+        """canonical_key() is cached; any structural mutation — even a
+        deeply nested add_child — must invalidate the cache."""
+        name = NameSpecifier.parse("[a=1[b=2]]")
+        before = name.canonical_key()
+        assert name.canonical_key() is before  # cached object reused
+        name.root("a").child("b").add("c", "3")
+        after = name.canonical_key()
+        assert after != before
+        assert after == NameSpecifier.parse("[a=1[b=2[c=3]]]").canonical_key()
+
+    def test_cached_canonical_key_tracks_add_pair(self):
+        name = NameSpecifier.parse("[a=1]")
+        before = name.canonical_key()
+        name.add("b", "2")
+        assert name.canonical_key() != before
+        assert name == NameSpecifier.parse("[a=1][b=2]")
+
     def test_str_and_repr(self):
         name = NameSpecifier.parse("[a=b]")
         assert str(name) == "[a=b]"

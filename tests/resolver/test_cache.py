@@ -78,3 +78,24 @@ class TestEviction:
         assert len(cache) == 2
         assert cache.lookup(parse("[n=1]"), now=3.0) is None
         assert cache.lookup(parse("[n=3]"), now=3.0).data == b"3"
+
+    def test_eviction_is_lru_not_fifo(self):
+        """A lookup hit touches the entry: the oldest-STORED entry
+        survives when it is the most recently USED."""
+        cache = PacketCache(max_entries=2)
+        cache.store(parse("[n=1]"), b"1", now=0.0, lifetime=100.0)
+        cache.store(parse("[n=2]"), b"2", now=1.0, lifetime=100.0)
+        assert cache.lookup(parse("[n=1]"), now=2.0).data == b"1"
+        cache.store(parse("[n=3]"), b"3", now=3.0, lifetime=100.0)
+        # n=2 (stored later, used never) was evicted; n=1 survived.
+        assert cache.lookup(parse("[n=1]"), now=4.0).data == b"1"
+        assert cache.lookup(parse("[n=2]"), now=4.0) is None
+
+    def test_replacing_store_touches_the_entry(self):
+        cache = PacketCache(max_entries=2)
+        cache.store(parse("[n=1]"), b"1", now=0.0, lifetime=100.0)
+        cache.store(parse("[n=2]"), b"2", now=1.0, lifetime=100.0)
+        cache.store(parse("[n=1]"), b"1b", now=2.0, lifetime=100.0)
+        cache.store(parse("[n=3]"), b"3", now=3.0, lifetime=100.0)
+        assert cache.lookup(parse("[n=1]"), now=4.0).data == b"1b"
+        assert cache.lookup(parse("[n=2]"), now=4.0) is None

@@ -161,3 +161,31 @@ class TestMultiVspaceDiscovery:
         domain.run(1.0)
         services = {name.root("service").value for name, _ in reply.value}
         assert services == {"camera"}
+
+
+class TestMemoStats:
+    def test_repeated_resolution_surfaces_memo_counters(self, queryable):
+        """InrStats aggregates the lookup-memo counters across every
+        tree the resolver owns (vspaces + packet-cache index)."""
+        domain, a, b, client = queryable
+        query = parse("[service=cam]")
+        client.resolve_early(query)
+        domain.run(0.5)
+        misses_after_first = a.stats.lookup_memo_misses
+        hits_after_first = a.stats.lookup_memo_hits
+        assert misses_after_first > 0
+        client.resolve_early(query)
+        domain.run(0.5)
+        assert a.stats.lookup_memo_hits > hits_after_first
+        assert a.stats.lookup_memo_misses == misses_after_first
+
+    def test_new_advertisement_surfaces_invalidation(self, queryable):
+        domain, a, b, client = queryable
+        query = parse("[service=cam]")
+        client.resolve_early(query)
+        domain.run(0.5)
+        domain.add_service("[service=cam[id=3]][room=512]", resolver=a)
+        domain.run(0.5)
+        client.resolve_early(query)
+        domain.run(0.5)
+        assert a.stats.lookup_memo_invalidations > 0

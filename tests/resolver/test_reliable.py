@@ -123,6 +123,98 @@ class TestReliableChannel:
         assert a.unacked_count("b") == 0  # abandoned, not leaked
 
 
+class TestConnectionEpochs:
+    """The per-connection epoch handshake: restarts must never leave
+    frames stranded as 'duplicates' behind a stale receive cursor."""
+
+    def test_restarted_sender_frames_not_dropped_as_duplicates(self):
+        clock, a, b, delivered, wires, shuttle = make_pair()
+        a.send("b", "one")
+        a.send("b", "two")
+        shuttle()
+        assert delivered["b"] == ["one", "two"]
+        # The sender's INR crashes and restarts: a fresh channel whose
+        # sequence numbers begin at 1 again — below b's receive cursor.
+        restarted = ReliableChannel(
+            transmit=lambda nb, p: wires["a->b"].append(p),
+            deliver=lambda nb, p: None,
+            set_timer=clock.set_timer,
+        )
+        restarted.send("b", "post-restart")
+        for payload in wires["a->b"]:
+            if isinstance(payload, ReliableFrame):
+                b.on_frame("a", payload)
+        wires["a->b"].clear()
+        # Without epochs this frame (sequence 1 < expected 3) would be
+        # swallowed; the newer epoch resets b's receive state instead.
+        assert delivered["b"] == ["one", "two", "post-restart"]
+        assert b.epoch_resets == 1
+        assert b.duplicates_dropped == 0
+
+    def test_give_up_resets_the_whole_connection(self):
+        clock, a, b, delivered, wires, shuttle = make_pair()
+        a.send("b", "void")
+        a.send("b", "also-void")
+        for _ in range(ReliableChannel.MAX_RETRANSMISSIONS + 2):
+            wires["a->b"].clear()
+            clock.fire_all()
+        assert a.connection_resets == 1
+        assert a.unacked_count("b") == 0
+        # The link heals: the next send opens a fresh epoch from
+        # sequence 1 and flows end-to-end.
+        a.send("b", "after-heal")
+        shuttle()
+        assert delivered["b"] == ["after-heal"]
+
+    def test_stale_epoch_frames_dropped_without_ack(self):
+        clock, a, b, delivered, wires, shuttle = make_pair()
+        a.send("b", "old")
+        straggler = wires["a->b"].pop()  # held in flight
+        restarted = ReliableChannel(
+            transmit=lambda nb, p: wires["a->b"].append(p),
+            deliver=lambda nb, p: None,
+            set_timer=clock.set_timer,
+        )
+        restarted.send("b", "new")
+        b.on_frame("a", wires["a->b"].pop())
+        assert delivered["b"] == ["new"]
+        # The pre-restart frame finally arrives: older epoch, no ack
+        # (acking it could only confuse a sender that moved on).
+        assert b.on_frame("a", straggler) is None
+        assert delivered["b"] == ["new"]
+        assert b.stale_epoch_dropped == 1
+
+    def test_stale_epoch_acks_ignored(self):
+        clock, a, b, delivered, wires, shuttle = make_pair()
+        a.send("b", "x")
+        ack = b.on_frame("a", wires["a->b"].pop())
+        a.reset("b")
+        a.send("b", "y")
+        a.on_ack("b", ack)  # acked sequence 1 — of the OLD epoch
+        assert a.unacked_count("b") == 1
+
+    def test_reorder_buffer_is_bounded(self):
+        clock, a, b, delivered, wires, shuttle = make_pair()
+        window = ReliableChannel.MAX_REORDER_BUFFER
+        total = window + 6
+        for i in range(total):
+            a.send("b", f"f{i + 1}")
+        frames = [p for p in wires["a->b"] if isinstance(p, ReliableFrame)]
+        wires["a->b"].clear()
+        for frame in frames[1:]:  # the first frame is lost
+            b.on_frame("a", frame)
+        assert b.reorder_buffered("a") == window
+        assert b.reorder_dropped == total - 1 - window
+        assert delivered["b"] == []
+        # Retransmission recovers both the lost frame and the ones the
+        # bounded buffer refused; two timer rounds suffice.
+        for _ in range(2):
+            clock.fire_all()
+            shuttle()
+        assert delivered["b"] == [f"f{i + 1}" for i in range(total)]
+        assert b.reorder_buffered("a") == 0
+
+
 class TestReliableDeltaMode:
     @pytest.fixture
     def reliable_domain(self):
