@@ -1,0 +1,78 @@
+"""Availability under chaos — request resilience on vs off.
+
+The paper's robustness claims (§2.2, §2.4) are about the *resolver
+mesh*: soft state heals. This benchmark measures robustness where the
+application feels it — at the request boundary. Steady early-binding
+lookup traffic runs through one seeded fault plan (INR crashes with
+restarts, lossy links, a mesh partition, CPU overload) twice: once
+with the client resilience layer (retries/backoff, deadlines,
+failover) plus resolver admission control, once with plain
+fire-and-forget requests. Same seed, same faults — the difference is
+purely what the resilience machinery buys: higher success rate and
+zero permanently-hung replies, paid for with retry traffic and a
+longer success tail (retried requests succeed late instead of never).
+
+Emits ``BENCH_availability.json`` with both runs plus the success-rate
+delta for trend tracking across sessions.
+"""
+
+import math
+import os
+
+from _report import RESULTS_DIR, record_table
+
+from repro.chaos import run_availability_scenario, write_bench_availability_json
+
+SEED = 7
+
+
+def _mttr_cell(report, kind):
+    stats = report.mttr.get(kind)
+    return f"{stats['p100']:.2f}" if stats else "-"
+
+
+def test_availability_resilience_on_vs_off(benchmark):
+    reports = benchmark.pedantic(
+        lambda: (
+            run_availability_scenario(seed=SEED, resilience=True),
+            run_availability_scenario(seed=SEED, resilience=False),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    resilient, bare = reports
+    payload = write_bench_availability_json(
+        os.path.join(RESULTS_DIR, "BENCH_availability.json"), resilient, bare
+    )
+    record_table(
+        "Availability: request resilience on vs off "
+        "(4 INRs, crash+restart / partition / lossy links / CPU overload)",
+        ["resilience", "requests", "success rate", "failed", "hung",
+         "p50 (s)", "p99 (s)", "retries", "failovers", "crash MTTR p100 (s)"],
+        [
+            (
+                "on" if report.resilience else "off",
+                f"{report.requests_attempted}",
+                f"{report.success_rate:.3f}",
+                f"{report.requests_failed}",
+                f"{report.requests_hung}",
+                f"{report.latency_p50:.4f}",
+                f"{report.latency_p99:.4f}",
+                f"{report.retries}",
+                f"{report.failovers}",
+                _mttr_cell(report, "crash-inr"),
+            )
+            for report in reports
+        ],
+    )
+    # The acceptance bar: under identical seeded faults the resilience
+    # layer must strictly raise the success rate, and no Reply may be
+    # left permanently pending when it is on.
+    assert resilient.requests_attempted == bare.requests_attempted > 0
+    assert resilient.success_rate > bare.success_rate
+    assert resilient.requests_hung == 0
+    # Fire-and-forget under loss leaves replies hanging forever — the
+    # failure mode the Reply error path exists to eliminate.
+    assert bare.requests_hung > 0
+    assert math.isfinite(resilient.latency_p99)
+    assert payload["success_rate_delta"] > 0

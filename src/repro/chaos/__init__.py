@@ -14,6 +14,11 @@ takes (:class:`RecoveryTracker`, :func:`percentile`).
 recovery time and control bandwidth.
 """
 
+from .availability import (
+    AvailabilityReport,
+    run_availability_scenario,
+    write_bench_availability_json,
+)
 from .invariants import InvariantChecker, Violation
 from .plan import FAULT_KINDS, ChaosController, FaultEvent, FaultPlan
 from .recovery import RecoveryRecord, RecoveryTracker, percentile
@@ -27,6 +32,7 @@ from .scenario import (
 
 __all__ = [
     "FAULT_KINDS",
+    "AvailabilityReport",
     "ChaosController",
     "ChaosReport",
     "FaultEvent",
@@ -38,6 +44,8 @@ __all__ = [
     "Violation",
     "fast_chaos_config",
     "percentile",
+    "run_availability_scenario",
     "run_chaos_scenario",
     "run_recovery_ablation",
+    "write_bench_availability_json",
 ]

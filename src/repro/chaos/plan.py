@@ -109,6 +109,7 @@ class FaultPlan:
         link_fault_fraction: float = 0.0,
         duplicate_rate: float = 0.1,
         reorder_rate: float = 0.1,
+        loss_rate: float = 0.0,
     ) -> "FaultPlan":
         """Generate a deterministic chaos timeline from ``seed``.
 
@@ -176,6 +177,7 @@ class FaultPlan:
                     params=(
                         ("duplicate_rate", duplicate_rate),
                         ("reorder_rate", reorder_rate),
+                        ("loss_rate", loss_rate),
                     ),
                 )
             )
@@ -184,7 +186,11 @@ class FaultPlan:
                     at=noisy_at + flap_length,
                     kind="link-faults",
                     target=pair,
-                    params=(("duplicate_rate", 0.0), ("reorder_rate", 0.0)),
+                    params=(
+                        ("duplicate_rate", 0.0),
+                        ("reorder_rate", 0.0),
+                        ("loss_rate", 0.0),
+                    ),
                 )
             )
         plan = cls.build(events)

@@ -1,8 +1,18 @@
 """The INS application programming interface (Section 3)."""
 
-from .api import InsClient
-from .futures import Reply
+from .api import ClientStats, InsClient, RetryPolicy
+from .futures import DeadlineExceeded, Reply, RequestError, RequestTimeout
 from .mobility import MobilityManager
 from .service import Service
 
-__all__ = ["InsClient", "MobilityManager", "Reply", "Service"]
+__all__ = [
+    "ClientStats",
+    "DeadlineExceeded",
+    "InsClient",
+    "MobilityManager",
+    "Reply",
+    "RequestError",
+    "RequestTimeout",
+    "RetryPolicy",
+    "Service",
+]

@@ -13,11 +13,21 @@ three INS services:
   matching services;
 
 plus :meth:`discover` for bootstrap-style name discovery.
+
+Every request/response operation (early binding, discovery, the attach
+pings and DSR list requests behind them) is wrapped in the resilience
+layer described by :class:`RetryPolicy`: per-request timeouts with
+capped exponential backoff, an overall deadline after which the
+:class:`~.futures.Reply` fails instead of hanging, resolver ``Pushback``
+hints that defer the next retransmission, and automatic failover to a
+different resolver after enough consecutive timeouts against the
+current one. Per-client counters live in :class:`ClientStats`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
 
 from ..message import Binding, Delivery, InsMessage
 from ..naming import NameSpecifier
@@ -30,18 +40,88 @@ from ..resolver.protocol import (
     DiscoveryResponse,
     PingRequest,
     PingResponse,
+    Pushback,
     ResolutionRequest,
     ResolutionResponse,
 )
-from .futures import Reply
+from .futures import DeadlineExceeded, Reply, RequestTimeout
 
 #: How long a client waits for INR-ping answers before attaching.
 _ATTACH_PING_TIMEOUT = 0.5
+
+#: How long a reselection round may run before the previous attachment
+#: is restored (list round-trip plus the ping round, with margin).
+_RESELECT_TIMEOUT = 2.0
 
 #: The probe name used when a client pings candidate resolvers.
 _PROBE = NameSpecifier.from_dict({"service": "client-ping"})
 
 MessageHandler = Callable[[InsMessage, str], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resilience knobs for one client's request/response operations.
+
+    The retransmit schedule: attempt k is answered within
+    ``min(request_timeout * backoff_factor**(k-1), backoff_max)``
+    seconds or it times out and the next attempt goes out (retry delays
+    after the first carry multiplicative jitter so synchronized clients
+    do not retry in lockstep). ``max_attempts`` timeouts fail the
+    request with :class:`~.futures.RequestTimeout`; ``deadline`` caps
+    the whole request with :class:`~.futures.DeadlineExceeded`
+    regardless of how many attempts remain. ``failover_threshold``
+    consecutive timeouts against one resolver trigger ``reattach()``
+    through the DSR, excluding the suspect.
+    """
+
+    enabled: bool = True
+    request_timeout: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 4.0
+    jitter_fraction: float = 0.1
+    max_attempts: int = 4
+    deadline: float = 10.0
+    failover_threshold: int = 3
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """Fire-and-forget mode: one datagram per request, no timers —
+        the pre-resilience behavior, kept for ablations."""
+        return cls(enabled=False)
+
+
+@dataclass
+class ClientStats:
+    """Per-client resilience counters."""
+
+    requests_sent: int = 0
+    attempts_sent: int = 0
+    retries: int = 0
+    requests_succeeded: int = 0
+    requests_failed: int = 0
+    deadline_exceeded: int = 0
+    pushbacks_received: int = 0
+    failovers: int = 0
+    attach_retries: int = 0
+
+
+@dataclass
+class _PendingRequest:
+    """Book-keeping for one in-flight request/response operation."""
+
+    reply: Reply
+    request: object
+    started_at: float = 0.0
+    attempts: int = 0
+    timeouts: int = 0
+    resolver: Optional[str] = None
+    timer: Optional[object] = None
+
+    def cancel_timer(self) -> None:
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
 
 
 class InsClient(Process):
@@ -54,6 +134,7 @@ class InsClient(Process):
         resolver: Optional[str] = None,
         dsr_address: Optional[str] = None,
         reselect_interval: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         """``reselect_interval`` enables the periodic part of the client
         configuration protocol: every interval the client re-measures
@@ -68,12 +149,31 @@ class InsClient(Process):
         self.resolver = resolver
         self.dsr_address = dsr_address
         self.reselect_interval = reselect_interval
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.stats = ClientStats()
         self.attached = Reply()
-        self._pending: Dict[int, Reply] = {}
+        self._pending: Dict[int, _PendingRequest] = {}
         self._ping_rtts: Dict[str, float] = {}
         self._ping_sent: Dict[int, tuple] = {}
         self._message_handler: Optional[MessageHandler] = None
         self._reselect_timer = None
+        #: resolver address skipped during the next selection round
+        #: (the suspect a failover is escaping from).
+        self._exclude_resolver: Optional[str] = None
+        #: (attached Reply, resolver) to fall back to if a reselection
+        #: round dies on a lost datagram.
+        self._reselect_previous: Optional[Tuple[Reply, Optional[str]]] = None
+        self._reselect_epoch = 0
+        self._attach_epoch = 0
+        self._attach_attempts = 0
+        #: True between a DSR list arriving and the ping round closing;
+        #: while set, the list-request watchdog stands down.
+        self._ping_round_open = False
+        self._consecutive_failures = 0
+        #: Once a client has attached at least once, a resilient request
+        #: issued mid-failover waits for the new resolver instead of
+        #: raising — only a never-attached client rejects operations.
+        self._ever_attached = False
 
     # ------------------------------------------------------------------
     # Attachment (the client configuration protocol)
@@ -86,35 +186,77 @@ class InsClient(Process):
         ):
             self._reselect_timer = self.every(self.reselect_interval, self._reselect)
         if self.resolver is not None:
+            self._ever_attached = True
             self.attached.resolve(self.resolver)
             return
+        self._request_inr_list()
+
+    def _request_inr_list(self) -> None:
+        """Ask the DSR for the active list, with a retransmit watchdog:
+        on a lossy link the request or its answer may vanish, and an
+        attach round must not hang forever."""
+        self._attach_epoch += 1
+        self._ping_round_open = False
         self.send(
             self.dsr_address,
             DSR_PORT,
             DsrListRequest(reply_to=self.address, reply_port=self.port),
         )
+        if self.retry_policy.enabled:
+            self._attach_attempts += 1
+            delay = min(1.0 * 2.0 ** (self._attach_attempts - 1), 5.0)
+            self.set_timer(delay, self._attach_watchdog, self._attach_epoch)
+
+    def _attach_watchdog(self, epoch: int) -> None:
+        if epoch != self._attach_epoch or self.attached.done:
+            return
+        if self._ping_round_open:
+            return  # the list arrived; the ping-timeout path is in control
+        self.stats.attach_retries += 1
+        self._request_inr_list()
 
     def _reselect(self) -> None:
         """Re-run resolver selection; the current resolver keeps serving
-        until a better one is measured."""
+        until a better one is measured. If the round dies (lost DSR
+        response, no ping answers) the previous attachment is restored,
+        so callbacks registered against ``attached`` in the window never
+        hang while the old resolver still works."""
         if not self.attached.done:
             return  # initial selection still in progress
+        self._reselect_previous = (self.attached, self.resolver)
+        self._reselect_epoch += 1
         self.attached = Reply()
-        self.send(
-            self.dsr_address,
-            DSR_PORT,
-            DsrListRequest(reply_to=self.address, reply_port=self.port),
-        )
+        self._attach_attempts = 0
+        self._request_inr_list()
+        self.set_timer(_RESELECT_TIMEOUT, self._restore_reselect, self._reselect_epoch)
+
+    def _restore_reselect(self, epoch: int) -> None:
+        if epoch != self._reselect_epoch or self.attached.done:
+            return
+        previous = self._reselect_previous
+        if previous is None:
+            return
+        self.attached, self.resolver = previous
+        self._reselect_previous = None
+        self._attach_epoch += 1  # stand the watchdog down
+        self._ping_round_open = False
 
     def _handle_inr_list(self, response: DsrListResponse) -> None:
         if self.attached.done:
             return
         if not response.active:
             # No resolver yet; ask again shortly.
-            self.set_timer(1.0, self.start)
+            self._ping_round_open = False
+            self.set_timer(1.0, self._request_inr_list)
             return
+        candidates = [a for a in response.active if a != self._exclude_resolver]
+        if not candidates:
+            # The suspect is the only resolver there is; better a slow
+            # or flaky INR than none at all.
+            candidates = list(response.active)
+        self._ping_round_open = True
         self._ping_rtts = {}
-        for address in response.active:
+        for address in candidates:
             request = PingRequest(
                 probe=_PROBE, reply_to=self.address, reply_port=self.port
             )
@@ -123,22 +265,38 @@ class InsClient(Process):
         self.set_timer(_ATTACH_PING_TIMEOUT, self._pick_resolver)
 
     def _pick_resolver(self) -> None:
+        # The selection round is over: tokens whose responses never
+        # arrived would otherwise pin dead entries forever.
+        self._ping_sent.clear()
+        self._ping_round_open = False
         if self.attached.done:
             return
         if not self._ping_rtts:
-            self.set_timer(1.0, self.start)
+            if self._reselect_previous is not None:
+                self._restore_reselect(self._reselect_epoch)
+                return
+            self.set_timer(1.0, self._request_inr_list)
             return
         best = min(self._ping_rtts, key=lambda a: (self._ping_rtts[a], a))
         self.resolver = best
+        self._exclude_resolver = None
+        self._reselect_previous = None
+        self._consecutive_failures = 0
+        self._ever_attached = True
         self.attached.resolve(best)
 
-    def reattach(self) -> None:
+    def reattach(self, exclude: Optional[str] = None) -> None:
         """Re-run resolver selection (e.g. after the INR died or new
-        resolvers were spawned for load balancing)."""
+        resolvers were spawned for load balancing). ``exclude`` skips
+        one address during the round — the failover path uses it to
+        avoid re-picking the resolver that just went silent."""
         if self.dsr_address is None:
             return
+        self._exclude_resolver = exclude
+        self._reselect_previous = None
         self.attached = Reply()
         self.resolver = None
+        self._attach_attempts = 0
         self.start()
 
     def _require_resolver(self) -> str:
@@ -149,6 +307,117 @@ class InsClient(Process):
         return self.resolver
 
     # ------------------------------------------------------------------
+    # The request/response resilience layer
+    # ------------------------------------------------------------------
+    def _issue(self, request, reply: Reply) -> Reply:
+        """Send ``request`` under the retry policy and track ``reply``."""
+        policy = self.retry_policy
+        if not (policy.enabled and self._ever_attached):
+            # Mid-failover a resilient request waits for the new
+            # resolver; everyone else needs an attachment up front.
+            self._require_resolver()
+        self.stats.requests_sent += 1
+        pending = _PendingRequest(reply=reply, request=request, started_at=self.now)
+        self._pending[request.request_id] = pending
+        if not policy.enabled:
+            # Fire-and-forget: one datagram, no timers, replies may hang.
+            pending.attempts = 1
+            self.stats.attempts_sent += 1
+            self.send(self.resolver, INR_PORT, request)
+            return reply
+        reply.deadline = self.now + policy.deadline
+        self._attempt(request.request_id)
+        return reply
+
+    def _attempt(self, request_id: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None:
+            return
+        policy = self.retry_policy
+        if self.now - pending.started_at >= policy.deadline:
+            self._fail_request(request_id, DeadlineExceeded(
+                f"request {request_id} exceeded its {policy.deadline}s deadline"
+            ))
+            return
+        if self.resolver is None:
+            # Reattachment in progress: hold the attempt until a new
+            # resolver is selected (the deadline still applies).
+            pending.timer = self.set_timer(0.25, self._attempt, request_id)
+            return
+        pending.attempts += 1
+        pending.resolver = self.resolver
+        self.stats.attempts_sent += 1
+        if pending.attempts > 1:
+            self.stats.retries += 1
+        self.send(self.resolver, INR_PORT, pending.request)
+        timeout = min(
+            policy.request_timeout * policy.backoff_factor ** pending.timeouts,
+            policy.backoff_max,
+        )
+        if pending.timeouts > 0 and policy.jitter_fraction > 0.0:
+            # Jitter only the backed-off waits: synchronized clients must
+            # not hammer a recovering resolver in lockstep, but the happy
+            # path should not consume RNG draws.
+            timeout *= 1.0 + policy.jitter_fraction * self.sim.rng.random()
+        remaining = pending.started_at + policy.deadline - self.now
+        timeout = min(timeout, max(remaining, 1e-3))
+        pending.timer = self.set_timer(
+            timeout, self._on_request_timeout, request_id, pending.attempts
+        )
+
+    def _on_request_timeout(self, request_id: int, attempt_no: int) -> None:
+        pending = self._pending.get(request_id)
+        if pending is None or pending.attempts != attempt_no:
+            return  # answered, or superseded by a pushback reschedule
+        pending.timeouts += 1
+        self._note_resolver_failure(pending.resolver)
+        if pending.timeouts >= self.retry_policy.max_attempts:
+            self._fail_request(request_id, RequestTimeout(
+                f"request {request_id} unanswered after "
+                f"{pending.timeouts} attempts"
+            ))
+            return
+        self._attempt(request_id)
+
+    def _fail_request(self, request_id: int, error: BaseException) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        pending.cancel_timer()
+        self.stats.requests_failed += 1
+        if isinstance(error, DeadlineExceeded):
+            self.stats.deadline_exceeded += 1
+        pending.reply.fail(error)
+
+    def _note_resolver_failure(self, address: Optional[str]) -> None:
+        """Count a timeout against the resolver an attempt targeted;
+        enough consecutive ones trigger failover through the DSR."""
+        if address is None or address != self.resolver:
+            return  # a straggler against a resolver we already left
+        self._consecutive_failures += 1
+        if (
+            self.dsr_address is not None
+            and self._consecutive_failures >= self.retry_policy.failover_threshold
+        ):
+            self._consecutive_failures = 0
+            self.stats.failovers += 1
+            self.reattach(exclude=address)
+
+    def _handle_pushback(self, pushback: Pushback) -> None:
+        pending = self._pending.get(pushback.request_id)
+        if pending is None:
+            return
+        self.stats.pushbacks_received += 1
+        # The resolver is alive, just shedding: its hint replaces our own
+        # backoff and does not count toward failover.
+        self._consecutive_failures = 0
+        if not self.retry_policy.enabled:
+            return
+        pending.cancel_timer()
+        delay = max(pushback.retry_after, self.retry_policy.request_timeout * 0.5)
+        pending.timer = self.set_timer(delay, self._attempt, pushback.request_id)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def resolve_early(self, name: NameSpecifier) -> Reply:
@@ -157,19 +426,18 @@ class InsClient(Process):
         request = ResolutionRequest(
             name=name, reply_to=self.address, reply_port=self.port
         )
-        reply = Reply()
-        self._pending[request.request_id] = reply
-        self.send(self._require_resolver(), INR_PORT, request)
-        return reply
+        return self._issue(request, Reply())
 
     def resolve_best(self, name: NameSpecifier) -> Reply:
         """Early binding plus the metric-based selection the paper
         describes ("the client may select an end-node with the least
         metric"): resolves to a single (Endpoint, metric) or None."""
         reply = Reply()
-        self.resolve_early(name).then(
+        inner = self.resolve_early(name)
+        inner.then(
             lambda bindings: reply.resolve(bindings[0] if bindings else None)
         )
+        inner.on_error(reply.fail)
         return reply
 
     def discover(self, name_filter: NameSpecifier) -> Reply:
@@ -178,10 +446,7 @@ class InsClient(Process):
         request = DiscoveryRequest(
             filter=name_filter, reply_to=self.address, reply_port=self.port
         )
-        reply = Reply()
-        self._pending[request.request_id] = reply
-        self.send(self._require_resolver(), INR_PORT, request)
-        return reply
+        return self._issue(request, Reply())
 
     # ------------------------------------------------------------------
     # Late binding sends
@@ -242,13 +507,18 @@ class InsClient(Process):
 
     def handle_message(self, payload: object, source: str) -> None:
         if isinstance(payload, (ResolutionResponse, DiscoveryResponse)):
-            reply = self._pending.pop(payload.request_id, None)
-            if reply is not None:
-                reply.resolve(
+            pending = self._pending.pop(payload.request_id, None)
+            if pending is not None:
+                pending.cancel_timer()
+                self.stats.requests_succeeded += 1
+                self._consecutive_failures = 0
+                pending.reply.resolve(
                     payload.bindings
                     if isinstance(payload, ResolutionResponse)
                     else payload.names
                 )
+        elif isinstance(payload, Pushback):
+            self._handle_pushback(payload)
         elif isinstance(payload, DataPacket):
             if self._message_handler is not None:
                 self._message_handler(payload.message, source)
@@ -259,6 +529,11 @@ class InsClient(Process):
                 self._ping_rtts[address] = self.now - sent_at
         elif isinstance(payload, DsrListResponse):
             self._handle_inr_list(payload)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests issued but not yet settled (for tests and chaos)."""
+        return len(self._pending)
 
     def on_network_change(self) -> None:
         """Called by the mobility manager after this node's address

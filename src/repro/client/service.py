@@ -5,6 +5,12 @@ name-specifier with an application-controlled metric, refreshing it
 periodically (soft state, Section 2.2). Updating the metric triggers an
 immediate re-advertisement, which is how the Printer proxies steer
 anycast toward the least-loaded printer (Section 3.3).
+
+Advertisements are marked *triggered* when they carry new information
+(first announcement after an attachment or failover, a metric change, a
+rename, a post-mobility repair) and left periodic otherwise; an
+overloaded resolver's admission control sheds periodic refreshes first,
+so triggered state still lands while pure keepalives wait a round.
 """
 
 from __future__ import annotations
@@ -17,7 +23,7 @@ from ..nametree import AnnouncerID, Endpoint
 from ..netsim import Node
 from ..resolver.ports import INR_PORT
 from ..resolver.protocol import Advertisement
-from .api import InsClient
+from .api import InsClient, RetryPolicy
 
 RequestHandler = Callable[[InsMessage, str], None]
 
@@ -36,8 +42,15 @@ class Service(InsClient):
         lifetime: float = 45.0,
         refresh_interval: float = 15.0,
         transport: str = "udp",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
-        super().__init__(node, port, resolver=resolver, dsr_address=dsr_address)
+        super().__init__(
+            node,
+            port,
+            resolver=resolver,
+            dsr_address=dsr_address,
+            retry_policy=retry_policy,
+        )
         name.require_concrete()
         self.name = name
         self.metric = metric
@@ -50,17 +63,19 @@ class Service(InsClient):
     def start(self) -> None:
         super().start()
         # Advertise as soon as we know our resolver, then periodically.
+        # Runs again on every reattachment (including the failover path),
+        # so a service is visible at its new resolver immediately.
         self.attached.then(lambda _resolver: self._begin_advertising())
 
     def _begin_advertising(self) -> None:
-        self.advertise()
+        self.advertise(triggered=True)
         # start() can run more than once (reattach after a resolver
         # failure); only the first attachment installs the refresh timer.
         if not getattr(self, "_advertising", False):
             self._advertising = True
             self.every(self.refresh_interval, self.advertise, jitter_fraction=0.05)
 
-    def advertise(self) -> None:
+    def advertise(self, triggered: bool = False) -> None:
         """Announce (or refresh) this service's name at its resolver.
 
         The endpoint is built fresh each time so a node that moved
@@ -77,6 +92,7 @@ class Service(InsClient):
             ),
             anycast_metric=self.metric,
             lifetime=self.lifetime,
+            triggered=triggered,
         )
         self.send(self.resolver, INR_PORT, advertisement)
         self.advertisements_sent += 1
@@ -90,7 +106,7 @@ class Service(InsClient):
         """
         self.metric = metric
         if announce_now:
-            self.advertise()
+            self.advertise(triggered=True)
 
     def rename(self, name: NameSpecifier, announce_now: bool = True) -> None:
         """Change the advertised name (service mobility, Section 3.2).
@@ -101,7 +117,7 @@ class Service(InsClient):
         name.require_concrete()
         self.name = name
         if announce_now:
-            self.advertise()
+            self.advertise(triggered=True)
 
     def reply_to(
         self, request: InsMessage, data: bytes, cache_lifetime: int = 0
@@ -118,4 +134,4 @@ class Service(InsClient):
     def on_network_change(self) -> None:
         """After mobility, re-announce immediately from the new address
         so resolvers update the name-to-location mapping fast."""
-        self.advertise()
+        self.advertise(triggered=True)

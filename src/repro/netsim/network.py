@@ -330,6 +330,11 @@ class Network:
         if process is None:
             self.undeliverable += 1
             return
+        if not process.admit(payload, source):
+            # Application-level shedding (admission control): the
+            # datagram arrived but the receiver refused to queue work
+            # for it, so no CPU cost is charged.
+            return
         cost = process.processing_cost(payload, size_bytes)
         self.delivered += 1
         node.cpu.execute(cost, lambda: process.handle_message(payload, source))

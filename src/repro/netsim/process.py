@@ -141,6 +141,13 @@ class Process:
         """CPU seconds charged before :meth:`handle_message` runs."""
         return 0.0
 
+    def admit(self, payload: Any, source: str) -> bool:
+        """Accept or shed an arriving datagram *before* any CPU work is
+        queued for it. Returning False drops the message at the door —
+        the admission-control hook an overloaded resolver uses to bound
+        its pending-work queue. The default accepts everything."""
+        return True
+
     def handle_message(self, payload: Any, source: str) -> None:
         """Receive a datagram; subclasses override."""
 

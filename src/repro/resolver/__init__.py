@@ -18,6 +18,7 @@ from .protocol import (
     PeerRequest,
     PingRequest,
     PingResponse,
+    Pushback,
     ResolutionRequest,
     ResolutionResponse,
     UpdateBatch,
@@ -49,6 +50,7 @@ __all__ = [
     "PingRequest",
     "PingResponse",
     "PortAllocator",
+    "Pushback",
     "ResolutionRequest",
     "ResolutionResponse",
     "UpdateBatch",

@@ -76,6 +76,32 @@ class InrConfig:
     #: Maximum entries in the data-packet cache (0 disables caching).
     packet_cache_size: int = 128
 
+    #: --- Admission control (overload shedding) -----------------------
+    #: When enabled, an INR bounds the work it accepts: once the node's
+    #: CPU backlog (seconds of queued work) crosses the thresholds
+    #: below, incoming messages are shed in priority order — periodic
+    #: soft-state refreshes first, then triggered updates, and client
+    #: lookups last (those get an explicit Pushback with a retry-after
+    #: hint instead of a silent drop). Defaults off: unbounded
+    #: acceptance is the paper's behavior and what the Figure 8
+    #: saturation experiments measure.
+    admission_control: bool = False
+
+    #: Backlog above which periodic refreshes (non-triggered update
+    #: batches and advertisements) are shed.
+    admission_shed_backlog: float = 0.25
+
+    #: Backlog above which triggered updates and withdrawals are shed
+    #: too; soft state re-delivers them within a refresh interval.
+    admission_trigger_backlog: float = 0.75
+
+    #: Backlog above which client resolution/discovery requests are
+    #: answered with a Pushback instead of being queued.
+    admission_pushback_backlog: float = 1.5
+
+    #: Cap on the retry-after hint carried by a Pushback.
+    admission_retry_after_max: float = 3.0
+
     #: --- Inter-INR update transport (footnote 3) ---------------------
     #: "soft-state": the paper's shipped design — periodic re-floods of
     #: every name plus triggered updates, names expire by lifetime.

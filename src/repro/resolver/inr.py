@@ -53,6 +53,7 @@ from .protocol import (
     PeerRequest,
     PingRequest,
     PingResponse,
+    Pushback,
     ResolutionRequest,
     ResolutionResponse,
     UpdateBatch,
@@ -105,6 +106,14 @@ class InrStats:
     lookup_memo_hits: int = 0
     lookup_memo_misses: int = 0
     lookup_memo_invalidations: int = 0
+
+    #: --- Admission control (overload shedding) -----------------------
+    #: periodic refreshes (non-triggered batches/ads) shed at the door
+    shed_periodic: int = 0
+    #: triggered updates/withdrawals shed under heavier backlog
+    shed_triggered: int = 0
+    #: client requests answered with an explicit Pushback
+    pushbacks_sent: int = 0
 
     @property
     def packets_dropped(self) -> int:
@@ -362,6 +371,55 @@ class INR(Process):
         self.stats.lookup_memo_hits = hits
         self.stats.lookup_memo_misses = misses
         self.stats.lookup_memo_invalidations = invalidations
+
+    # ------------------------------------------------------------------
+    # Admission control (overload shedding)
+    # ------------------------------------------------------------------
+    def admit(self, payload: object, source: str) -> bool:
+        """Bound the pending-work queue with priority shedding.
+
+        Work already accepted sits in the node CPU's serial queue; its
+        backlog (seconds of queued work) is the queue depth. Past the
+        configured thresholds, arriving work is shed cheapest-loss
+        first: periodic soft-state refreshes (they recur anyway), then
+        triggered updates (the next refresh re-delivers the state), and
+        only under the heaviest backlog client lookups — which are
+        answered with an explicit :class:`Pushback` carrying a
+        retry-after hint, so the client backs off instead of declaring
+        the resolver dead.
+        """
+        config = self.config
+        if not config.admission_control or self._terminated:
+            return True
+        backlog = self.node.cpu.backlog
+        if backlog <= config.admission_shed_backlog:
+            return True
+        periodic = (
+            isinstance(payload, UpdateBatch) and not payload.triggered
+        ) or (isinstance(payload, Advertisement) and not payload.triggered)
+        if periodic:
+            self.stats.shed_periodic += 1
+            return False
+        if backlog <= config.admission_trigger_backlog:
+            return True
+        if isinstance(payload, (UpdateBatch, Advertisement, NameWithdraw)):
+            self.stats.shed_triggered += 1
+            return False
+        if backlog <= config.admission_pushback_backlog:
+            return True
+        if isinstance(payload, (ResolutionRequest, DiscoveryRequest)):
+            self.stats.pushbacks_sent += 1
+            self.send(
+                payload.reply_to,
+                payload.reply_port,
+                Pushback(
+                    request_id=payload.request_id,
+                    responder=self.address,
+                    retry_after=min(backlog, config.admission_retry_after_max),
+                ),
+            )
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Message dispatch

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.client import Reply
+from repro.client import DeadlineExceeded, Reply, RequestError, RequestTimeout
 
 
 class TestReply:
@@ -57,3 +57,77 @@ class TestReply:
     def test_then_chains(self):
         reply = Reply()
         assert reply.then(lambda v: None) is reply
+
+
+class TestReplyFailure:
+    def test_fail_settles_without_success(self):
+        reply = Reply()
+        error = RequestTimeout("gone")
+        reply.fail(error)
+        assert reply.failed
+        assert reply.settled
+        assert not reply.done
+        assert reply.error is error
+
+    def test_value_raises_the_stored_error(self):
+        reply = Reply()
+        reply.fail(DeadlineExceeded("too late"))
+        with pytest.raises(DeadlineExceeded):
+            reply.value
+
+    def test_value_or_default_when_failed(self):
+        reply = Reply()
+        reply.fail(RequestTimeout("gone"))
+        assert reply.value_or("fallback") == "fallback"
+
+    def test_on_error_fires_exactly_once(self):
+        reply = Reply()
+        seen = []
+        reply.on_error(seen.append)
+        reply.fail(RequestTimeout("first"))
+        reply.fail(RequestTimeout("second"))
+        assert len(seen) == 1
+        assert str(seen[0]) == "first"
+
+    def test_on_error_after_failure_fires_immediately(self):
+        reply = Reply()
+        reply.fail(RequestTimeout("gone"))
+        seen = []
+        reply.on_error(seen.append)
+        assert len(seen) == 1
+
+    def test_late_duplicate_response_after_failure_is_ignored(self):
+        """A response straggling in after the client gave up must not
+        reanimate the request."""
+        reply = Reply()
+        successes = []
+        reply.then(successes.append)
+        reply.fail(RequestTimeout("gone"))
+        reply.resolve("stale answer")
+        assert not reply.done
+        assert reply.failed
+        assert successes == []
+        with pytest.raises(RequestError):
+            reply.value
+
+    def test_fail_after_resolution_is_ignored(self):
+        reply = Reply()
+        errors = []
+        reply.on_error(errors.append)
+        reply.resolve("answer")
+        reply.fail(RequestTimeout("straggler timeout"))
+        assert reply.done
+        assert not reply.failed
+        assert reply.value == "answer"
+        assert errors == []
+
+    def test_then_after_failure_never_fires(self):
+        reply = Reply()
+        reply.fail(RequestTimeout("gone"))
+        seen = []
+        reply.then(seen.append)
+        reply.resolve("x")
+        assert seen == []
+
+    def test_deadline_defaults_to_none(self):
+        assert Reply().deadline is None

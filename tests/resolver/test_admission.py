@@ -1,0 +1,172 @@
+"""Tests for resolver admission control (bounded pending-work queue).
+
+An overloaded INR sheds arriving work cheapest-loss first: periodic
+soft-state refreshes, then triggered updates, and finally client
+lookups — which get an explicit Pushback with a retry-after hint
+instead of silence.
+"""
+
+from dataclasses import replace
+
+from repro.client import RetryPolicy
+from repro.experiments import InsDomain
+from repro.nametree import AnnouncerID, Endpoint
+from repro.resolver import InrConfig
+from repro.resolver.protocol import (
+    Advertisement,
+    DiscoveryRequest,
+    PingRequest,
+    Pushback,
+    ResolutionRequest,
+)
+
+from ..conftest import parse
+
+NAME = parse("[service=printer]")
+
+ADMIT = InrConfig(admission_control=True)
+
+
+def make_domain(seed=800, config=ADMIT):
+    domain = InsDomain(seed=seed, config=config)
+    inr = domain.add_inr()
+    return domain, inr
+
+
+def advertisement(triggered):
+    return Advertisement(
+        name=NAME,
+        announcer=AnnouncerID.generate("svc-host"),
+        endpoints=(Endpoint(host="svc-host", port=9000, transport="udp"),),
+        anycast_metric=0.0,
+        lifetime=45.0,
+        triggered=triggered,
+    )
+
+
+def lookup():
+    return ResolutionRequest(name=NAME, reply_to="client-host", reply_port=9001)
+
+
+def load_cpu(inr, seconds):
+    """Queue ``seconds`` of synthetic work on the resolver's CPU."""
+    inr.node.cpu.execute(seconds, lambda: None)
+
+
+class TestSheddingPriorities:
+    def test_idle_resolver_admits_everything(self):
+        _domain, inr = make_domain()
+        assert inr.admit(advertisement(triggered=False), "svc-host")
+        assert inr.admit(advertisement(triggered=True), "svc-host")
+        assert inr.admit(lookup(), "client-host")
+        assert inr.stats.shed_periodic == 0
+        assert inr.stats.pushbacks_sent == 0
+
+    def test_light_backlog_sheds_only_periodic_refreshes(self):
+        _domain, inr = make_domain()
+        load_cpu(inr, 0.5)  # past shed_backlog, below trigger_backlog
+        assert not inr.admit(advertisement(triggered=False), "svc-host")
+        assert inr.admit(advertisement(triggered=True), "svc-host")
+        assert inr.admit(lookup(), "client-host")
+        assert inr.stats.shed_periodic == 1
+        assert inr.stats.shed_triggered == 0
+        assert inr.stats.pushbacks_sent == 0
+
+    def test_heavy_backlog_sheds_triggered_updates_too(self):
+        _domain, inr = make_domain()
+        load_cpu(inr, 1.0)  # past trigger_backlog, below pushback_backlog
+        assert not inr.admit(advertisement(triggered=False), "svc-host")
+        assert not inr.admit(advertisement(triggered=True), "svc-host")
+        assert inr.admit(lookup(), "client-host")
+        assert inr.stats.shed_periodic == 1
+        assert inr.stats.shed_triggered == 1
+        assert inr.stats.pushbacks_sent == 0
+
+    def test_overload_pushes_back_client_lookups(self):
+        domain, inr = make_domain()
+        domain.network.add_node("client-host")
+        load_cpu(inr, 2.0)  # past pushback_backlog
+        request = lookup()
+        assert not inr.admit(request, "client-host")
+        assert inr.stats.pushbacks_sent == 1
+        discovery = DiscoveryRequest(
+            filter=NAME, reply_to="client-host", reply_port=9001
+        )
+        assert not inr.admit(discovery, "client-host")
+        assert inr.stats.pushbacks_sent == 2
+
+    def test_pings_admitted_even_under_overload(self):
+        """INR-pings are the load-balancing measurement channel: a
+        loaded resolver must look slow, not dead."""
+        _domain, inr = make_domain()
+        load_cpu(inr, 5.0)
+        ping = PingRequest(probe=NAME, reply_to="client-host", reply_port=9001)
+        assert inr.admit(ping, "client-host")
+
+    def test_disabled_admission_never_sheds(self):
+        _domain, inr = make_domain(config=InrConfig(admission_control=False))
+        load_cpu(inr, 10.0)
+        assert inr.admit(advertisement(triggered=False), "svc-host")
+        assert inr.admit(lookup(), "client-host")
+        assert inr.stats.shed_periodic == 0
+        assert inr.stats.pushbacks_sent == 0
+
+    def test_retry_after_hint_is_capped(self):
+        domain, inr = make_domain()
+        domain.network.add_node("client-host")
+        captured = []
+        original_send = inr.send
+
+        def spy(destination, port, payload, size_bytes=None):
+            if isinstance(payload, Pushback):
+                captured.append(payload)
+            original_send(destination, port, payload, size_bytes)
+
+        inr.send = spy
+        load_cpu(inr, 50.0)
+        inr.admit(lookup(), "client-host")
+        assert len(captured) == 1
+        assert captured[0].retry_after == ADMIT.admission_retry_after_max
+
+
+class TestEndToEnd:
+    def test_shed_datagram_charges_no_cpu(self):
+        """Shedding happens at the door: a refused datagram must not
+        consume resolver CPU (that is the whole point)."""
+        domain, inr = make_domain()
+        load_cpu(inr, 1.0)
+        backlog_before = inr.node.cpu.backlog
+        domain.network.send(
+            "svc-host" if domain.network.has_node("svc-host") else inr.address,
+            inr.address,
+            inr.port,
+            advertisement(triggered=False),
+            64,
+        )
+        domain.run(0.001)
+        assert inr.node.cpu.backlog <= backlog_before
+        assert inr.stats.shed_periodic == 1
+
+    def test_pushed_back_client_retries_and_succeeds(self):
+        """The full loop: overloaded resolver pushes back, the client
+        defers its retry past the hint, the retry is admitted once the
+        backlog drains and the lookup completes."""
+        domain, inr = make_domain(
+            config=replace(ADMIT, admission_retry_after_max=1.0)
+        )
+        domain.add_service(NAME, resolver=inr)
+        client = domain.add_client(
+            resolver=inr,
+            retry_policy=RetryPolicy(request_timeout=0.5, deadline=10.0,
+                                     failover_threshold=1000),
+        )
+        domain.run(1.0)
+        load_cpu(inr, 2.0)
+        reply = client.resolve_early(NAME)
+        domain.run(5.0)
+        assert client.stats.pushbacks_received >= 1
+        assert inr.stats.pushbacks_sent >= 1
+        assert reply.done
+        assert reply.value
+        # The pushback deferred rather than failed the request.
+        assert client.stats.requests_failed == 0
