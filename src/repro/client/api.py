@@ -32,7 +32,7 @@ from typing import Callable, Dict, Optional, Tuple
 from ..message import Binding, Delivery, InsMessage
 from ..naming import NameSpecifier
 from ..netsim import Node, Process
-from ..overlay.protocol import DsrListRequest, DsrListResponse
+from ..message.dsr import DsrListRequest, DsrListResponse
 from ..resolver.ports import DSR_PORT, INR_PORT
 from ..resolver.protocol import (
     DataPacket,

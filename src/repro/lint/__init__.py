@@ -1,0 +1,61 @@
+"""``repro.lint`` — static analysis for the INS reproduction.
+
+A pluggable rule engine that parses every file once (AST plus
+import/alias and pragma tables) and runs registered rules over it,
+enforcing the invariants the runtime cannot cheaply check: determinism
+(no ambient randomness, wall clocks, or hash-order iteration on
+scheduling/wire paths), the declared layer DAG, and protocol hygiene.
+Violations are fixed, justified in place with a pragma, or recorded in
+the checked-in baseline — and stale suppressions are themselves
+reported, so escapes expire from the codebase the way the paper's
+soft-state name records expire from a resolver.
+
+Run it as ``python -m repro.lint [paths...]`` or via the
+``repro-lint`` console script; the full suite also runs as a tier-1
+pytest (``tests/lint/test_tree_clean.py``), so CI and pytest share one
+source of truth. See ``docs/LINT.md`` for the rule reference.
+
+This package imports nothing else from ``repro`` — it sits outside the
+runtime layer DAG it enforces.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .config import DEFAULT_PROFILES, STRICT, Profile, profile_for
+from .engine import (
+    BAD_PRAGMA,
+    PARSE_ERROR,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    USELESS_PRAGMA,
+    Engine,
+    FileContext,
+    Finding,
+    LintResult,
+)
+from .report import REPORT_SCHEMA_VERSION, render_json, render_text
+from .rules import REGISTRY, Rule, create_rules, register
+
+__all__ = [
+    "BAD_PRAGMA",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_PROFILES",
+    "Engine",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "PARSE_ERROR",
+    "Profile",
+    "REGISTRY",
+    "REPORT_SCHEMA_VERSION",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "STRICT",
+    "USELESS_PRAGMA",
+    "create_rules",
+    "profile_for",
+    "register",
+    "render_json",
+    "render_text",
+]

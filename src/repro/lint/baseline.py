@@ -1,0 +1,152 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline lets the rule pack be adopted (or extended) without blocking
+on fixing every historical violation at once: known findings are
+recorded once, new findings still fail the build, and entries that no
+longer match anything are reported as *stale* so the baseline shrinks
+monotonically — soft state for technical debt, expiring the way the
+paper's name records expire when no longer refreshed.
+
+Entries are keyed by ``(rule, path, fingerprint)`` where the
+fingerprint hashes the violating source line, not its line number, so
+unrelated edits do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename looked up at the lint root.
+DEFAULT_BASELINE_NAME = ".lint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    count: int = 1
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.fingerprint)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "count": self.count,
+        }
+
+
+class Baseline:
+    """Set of grandfathered findings with match/expire bookkeeping."""
+
+    def __init__(self, entries: Optional[Sequence[BaselineEntry]] = None):
+        self.entries: List[BaselineEntry] = list(entries or [])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(
+            [
+                BaselineEntry(
+                    rule=item["rule"],
+                    path=item["path"],
+                    fingerprint=item["fingerprint"],
+                    count=int(item.get("count", 1)),
+                )
+                for item in data.get("entries", [])
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Sequence) -> "Baseline":
+        counts: Dict[Tuple[str, str, str], int] = {}
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(
+            [
+                BaselineEntry(rule=r, path=p, fingerprint=f, count=n)
+                for (r, p, f), n in sorted(counts.items())
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def apply(self, findings: Sequence):
+        """Split findings into (kept, baselined) and report stale entries.
+
+        A finding is *baselined* (suppressed) while its entry has match
+        budget left; an entry whose budget is never exhausted is *stale*
+        with the unmatched remainder as its count — the signal to prune
+        it from the checked-in file.
+        """
+        remaining: Dict[Tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            remaining[entry.key] = remaining.get(entry.key, 0) + entry.count
+        kept, baselined = [], []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.fingerprint)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                kept.append(finding)
+        stale = [
+            BaselineEntry(rule=r, path=p, fingerprint=f, count=n)
+            for (r, p, f), n in sorted(remaining.items())
+            if n > 0
+        ]
+        return kept, baselined, stale
+
+    def pruned(self, stale: Sequence[BaselineEntry]) -> "Baseline":
+        """A copy with stale match budget removed (count-aware)."""
+        stale_counts = {entry.key: entry.count for entry in stale}
+        pruned: List[BaselineEntry] = []
+        for entry in self.entries:
+            drop = stale_counts.get(entry.key, 0)
+            keep = max(0, entry.count - drop)
+            stale_counts[entry.key] = max(0, drop - entry.count)
+            if keep:
+                pruned.append(
+                    BaselineEntry(
+                        rule=entry.rule,
+                        path=entry.path,
+                        fingerprint=entry.fingerprint,
+                        count=keep,
+                    )
+                )
+        return Baseline(pruned)

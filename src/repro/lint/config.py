@@ -1,0 +1,66 @@
+"""Per-directory rule profiles.
+
+The same rule pack runs everywhere, but different parts of the tree
+legitimately live under different regimes: benchmark drivers may read
+the host wall clock (they measure the host, like the paper's Figure 12
+lookup-rate measurements), while simulation code under ``src/`` never
+may. A profile names which rules are disabled for a directory and which
+per-rule options are overridden, so CI and pytest share one source of
+truth instead of each hard-coding its own exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Rule configuration applied to every file under one top directory."""
+
+    name: str
+    disable: Tuple[str, ...] = ()
+    #: rule id -> {option name: value} overrides.
+    rule_options: Mapping[str, Mapping[str, object]] = field(
+        default_factory=dict
+    )
+
+
+#: The strict regime: every rule, default options.
+STRICT = Profile(name="strict")
+
+#: Profiles keyed by the first path segment relative to the repo root.
+DEFAULT_PROFILES: Dict[str, Profile] = {
+    "src": Profile(name="src"),
+    "examples": Profile(name="examples"),
+    # Tests exercise internals across layers (the layering DAG governs
+    # the package, not its tests) and deliberately assert *exact*
+    # scheduler arithmetic (``sim.now == 2.5``) to pin event-loop
+    # behavior, so float-time equality is sanctioned there.
+    "tests": Profile(
+        name="tests", disable=("layering", "no-float-time-eq")
+    ),
+    # Benchmark drivers time the host, so the wall clock is sanctioned
+    # there — ambient randomness still is not (seeded RNGs keep
+    # benchmark workloads reproducible).
+    "benchmarks": Profile(
+        name="benchmarks",
+        disable=("layering",),
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": True}},
+    ),
+}
+
+
+def profile_for(
+    rel_path: str, profiles: Optional[Dict[str, Profile]] = None
+) -> Profile:
+    """Pick the profile for a file from its repo-relative path.
+
+    Accepts a profile name directly as well, so tests can force one.
+    """
+    table = DEFAULT_PROFILES if profiles is None else profiles
+    if rel_path in table:
+        return table[rel_path]
+    head = rel_path.replace("\\", "/").lstrip("./").split("/", 1)[0]
+    return table.get(head, STRICT)

@@ -1,0 +1,406 @@
+"""The single-parse rule engine.
+
+Every file is parsed exactly once into a :class:`FileContext` — AST,
+source lines, import/alias tables, pragma table, and (for files inside
+``repro``) the module's dotted name and layer package. Each enabled
+:class:`~repro.lint.rules.Rule` then visits that shared context and
+yields :class:`Finding` objects; the engine applies pragma suppression
+and the checked-in baseline before reporting.
+
+The design mirrors how the paper treats correctness state as soft
+state: violations must either be fixed, justified in place (pragma), or
+recorded in the baseline — and stale baseline entries / useless pragmas
+are themselves findings, so suppressions expire instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, BaselineEntry
+from .config import Profile, profile_for
+from .pragmas import Pragma, parse_pragmas
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Findings synthesized by the engine itself (not registered rules).
+PARSE_ERROR = "parse-error"
+BAD_PRAGMA = "bad-pragma"
+USELESS_PRAGMA = "useless-pragma"
+
+#: Directory names never descended into while discovering files.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", "results", "corpus", ".venv"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+    source: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes the rule id plus the stripped source text of the line, so
+        entries survive unrelated edits that only shift line numbers.
+        """
+        basis = f"{self.rule}::{self.source.strip()}".encode("utf-8")
+        return hashlib.sha1(basis).hexdigest()[:16]
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "source": self.source.strip(),
+        }
+
+
+class FileContext:
+    """Everything the rules need to know about one parsed file."""
+
+    def __init__(self, path: Path, text: str, root: Optional[Path] = None):
+        self.path = Path(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.root = Path(root) if root is not None else None
+        self.rel_path = self._relative_path()
+        self.module = self._module_name()
+        self.package = self._layer_package()
+        self.pragmas: Dict[int, Pragma] = parse_pragmas(text)
+        #: local name -> dotted module path (``import x.y as z``).
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> dotted origin (``from m import a as b`` -> ``m.a``).
+        self.from_imports: Dict[str, str] = {}
+        self._index_imports()
+
+    # ------------------------------------------------------------------
+    # Path / module identity
+    # ------------------------------------------------------------------
+    def _relative_path(self) -> str:
+        if self.root is None:
+            return self.path.as_posix()
+        try:
+            return self.path.resolve().relative_to(
+                self.root.resolve()
+            ).as_posix()
+        except ValueError:
+            return self.path.as_posix()  # outside the lint root
+
+    def _module_name(self) -> Optional[str]:
+        """Dotted module name when the file sits inside a ``repro`` tree.
+
+        Anchors on a ``src/repro`` (or bare ``repro``) path segment so it
+        works for the real tree and for synthetic trees in tests.
+        """
+        parts = self.path.resolve().parts if self.path.is_absolute() \
+            else self.path.parts
+        anchor = None
+        for index in range(len(parts) - 1):
+            if parts[index] == "src" and parts[index + 1] == "repro":
+                anchor = index + 1
+        if anchor is None:
+            for index, part in enumerate(parts[:-1]):
+                if part == "repro":
+                    anchor = index
+                    break
+        if anchor is None:
+            return None
+        dotted = list(parts[anchor:])
+        dotted[-1] = dotted[-1][: -len(".py")] if dotted[-1].endswith(".py") \
+            else dotted[-1]
+        if dotted[-1] == "__init__":
+            dotted.pop()
+        return ".".join(dotted)
+
+    def _layer_package(self) -> Optional[str]:
+        """Top-level ``repro`` subpackage this module belongs to."""
+        if not self.module or not self.module.startswith("repro."):
+            return None
+        remainder = self.module.split(".")[1:]
+        if len(remainder) == 1:
+            # repro/__main__.py and other root modules are the public
+            # facade above every layer; the layering rule exempts them.
+            return None
+        return remainder[0]
+
+    # ------------------------------------------------------------------
+    # Import / alias tables
+    # ------------------------------------------------------------------
+    def _index_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.module_aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.from_imports[bound] = f"{node.module}.{alias.name}"
+
+    def resolve_name(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of a name or attribute chain, through aliases.
+
+        ``rnd.choice`` with ``import random as rnd`` resolves to
+        ``random.choice``; ``datetime.now`` with ``from datetime import
+        datetime`` resolves to ``datetime.datetime.now``. Names bound by
+        assignment (e.g. a seeded ``rng``) resolve to ``None``.
+        """
+        chain: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = current.id
+        if base in self.from_imports:
+            origin = self.from_imports[base]
+        elif base in self.module_aliases:
+            origin = self.module_aliases[base]
+        else:
+            return None
+        return ".".join([origin] + list(reversed(chain)))
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run over a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+class Engine:
+    """Runs the rule pack over files, one parse per file."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence] = None,
+        profiles: Optional[Dict[str, Profile]] = None,
+        baseline: Optional[Baseline] = None,
+        root: Optional[Path] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+        excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
+    ):
+        # Imported lazily so ``engine`` has no import cycle with ``rules``.
+        from .rules import create_rules
+
+        self._explicit_rules = list(rules) if rules is not None else None
+        self._create_rules = create_rules
+        self.profiles = profiles
+        self.baseline = baseline or Baseline()
+        self.root = Path(root) if root is not None else Path.cwd()
+        self.select = frozenset(select) if select else None
+        self.ignore = frozenset(ignore) if ignore else frozenset()
+        self.excluded_dirs = frozenset(excluded_dirs)
+        self._rule_cache: Dict[str, List] = {}
+
+    # ------------------------------------------------------------------
+    # File discovery
+    # ------------------------------------------------------------------
+    def discover(self, paths: Sequence[Path]) -> List[Path]:
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_file() and path.suffix == ".py":
+                files.append(path)
+            elif path.is_dir():
+                files.extend(self._walk(path))
+        unique = sorted(set(files), key=lambda p: p.as_posix())
+        return unique
+
+    def _walk(self, directory: Path) -> List[Path]:
+        found: List[Path] = []
+        for child in sorted(directory.iterdir(), key=lambda p: p.name):
+            if child.is_dir():
+                if child.name in self.excluded_dirs or \
+                        child.name.startswith("."):
+                    continue
+                found.extend(self._walk(child))
+            elif child.suffix == ".py":
+                found.append(child)
+        return found
+
+    # ------------------------------------------------------------------
+    # Rule selection
+    # ------------------------------------------------------------------
+    def _rules_for(self, profile: Profile) -> List:
+        if profile.name in self._rule_cache:
+            return self._rule_cache[profile.name]
+        if self._explicit_rules is not None:
+            rules = [
+                rule for rule in self._explicit_rules
+                if rule.id not in profile.disable
+            ]
+        else:
+            rules = self._create_rules(
+                ignore=profile.disable, rule_options=profile.rule_options
+            )
+        if self.select is not None:
+            rules = [rule for rule in rules if rule.id in self.select]
+        rules = [rule for rule in rules if rule.id not in self.ignore]
+        self._rule_cache[profile.name] = rules
+        return rules
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[Path]) -> LintResult:
+        result = LintResult()
+        raw_findings: List[Finding] = []
+        for path in self.discover(paths):
+            result.files_scanned += 1
+            raw_findings.extend(self._lint_file(path, result.suppressed))
+        raw_findings.sort(key=Finding.sort_key)
+        kept, baselined, stale = self.baseline.apply(raw_findings)
+        result.findings = kept
+        result.baselined = baselined
+        result.stale_baseline = stale
+        return result
+
+    def _lint_file(
+        self, path: Path, suppressed_sink: Optional[List[Finding]] = None
+    ) -> List[Finding]:
+        rel = self._rel(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+            ctx = FileContext(path, text, root=self.root)
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            lineno = getattr(exc, "lineno", None) or 1
+            return [
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=rel,
+                    line=int(lineno),
+                    col=0,
+                    message=f"could not parse file: {exc}",
+                )
+            ]
+        profile = profile_for(rel, self.profiles)
+        findings: List[Finding] = []
+        for rule in self._rules_for(profile):
+            findings.extend(rule.check(ctx))
+        return self._apply_pragmas(ctx, findings, suppressed_sink)
+
+    def lint_text(
+        self, text: str, path: str = "<memory>", profile: Optional[str] = None
+    ) -> List[Finding]:
+        """Lint one in-memory source string (test/corpus helper)."""
+        ctx = FileContext(Path(path), text, root=self.root)
+        chosen = profile_for(
+            profile if profile is not None else ctx.rel_path, self.profiles
+        )
+        findings: List[Finding] = []
+        for rule in self._rules_for(chosen):
+            findings.extend(rule.check(ctx))
+        return sorted(self._apply_pragmas(ctx, findings), key=Finding.sort_key)
+
+    # ------------------------------------------------------------------
+    # Pragma accounting
+    # ------------------------------------------------------------------
+    def _apply_pragmas(
+        self,
+        ctx: FileContext,
+        findings: List[Finding],
+        suppressed_sink: Optional[List[Finding]] = None,
+    ) -> List[Finding]:
+        kept: List[Finding] = []
+        for finding in findings:
+            pragma = ctx.pragmas.get(finding.line)
+            if pragma is not None and pragma.covers(finding.rule):
+                pragma.used_for.add(finding.rule)
+                if pragma.justified:
+                    if suppressed_sink is not None:
+                        suppressed_sink.append(finding)
+                    continue
+            kept.append(finding)
+        rel = self._rel(ctx.path)
+        for line in sorted(ctx.pragmas):
+            pragma = ctx.pragmas[line]
+            if pragma.used_for and not pragma.justified:
+                kept.append(
+                    Finding(
+                        rule=BAD_PRAGMA,
+                        path=rel,
+                        line=pragma.declared_line,
+                        col=0,
+                        message=(
+                            "pragma suppresses "
+                            f"{', '.join(sorted(pragma.used_for))} but gives "
+                            "no justification; write "
+                            "'# lint: disable=<rule> -- <why>'"
+                        ),
+                        source=ctx.source_line(pragma.declared_line),
+                    )
+                )
+            elif not pragma.used_for:
+                kept.append(
+                    Finding(
+                        rule=USELESS_PRAGMA,
+                        path=rel,
+                        line=pragma.declared_line,
+                        col=0,
+                        message=(
+                            f"pragma for {', '.join(pragma.rules)} suppresses "
+                            "nothing; remove it"
+                        ),
+                        severity=SEVERITY_WARNING,
+                        source=ctx.source_line(pragma.declared_line),
+                    )
+                )
+        return kept
+
+    def _rel(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()

@@ -1,0 +1,105 @@
+"""Pluggable rule pack: base class, registry, and rule construction.
+
+A rule is one AST visitor over a :class:`~repro.lint.engine.FileContext`
+with an id (used in pragmas, baselines, and reports), a severity, and
+optional per-profile options. New rules register themselves with
+:func:`register`; the engine instantiates the pack per profile so the
+same rule can run with different options in different directories.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Type
+
+from ..engine import SEVERITY_ERROR, SEVERITY_WARNING, FileContext, Finding
+
+#: rule id -> rule class, populated by :func:`register`.
+REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(cls: Type["Rule"]) -> Type["Rule"]:
+    if not cls.id:
+        raise ValueError(f"rule class {cls.__name__} has no id")
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+class Rule:
+    """Base class for one static-analysis rule."""
+
+    #: Stable identifier used in pragmas, baselines, and reports.
+    id: str = ""
+    severity: str = SEVERITY_ERROR
+    #: One-line summary shown by ``--list-rules``.
+    summary: str = ""
+    #: Option defaults, overridable per profile.
+    default_options: Mapping[str, object] = {}
+
+    def __init__(self, options: Optional[Mapping[str, object]] = None):
+        merged = dict(self.default_options)
+        for key, value in (options or {}).items():
+            if key not in merged:
+                raise ValueError(
+                    f"rule {self.id!r} has no option {key!r} "
+                    f"(known: {sorted(merged)})"
+                )
+            merged[key] = value
+        self.options = merged
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Helper used by every concrete rule.
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            path=ctx.rel_path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity or self.severity,
+            source=ctx.source_line(line),
+        )
+
+
+def create_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    rule_options: Optional[Mapping[str, Mapping[str, object]]] = None,
+) -> List[Rule]:
+    """Instantiate the registered pack, honoring select/ignore/options."""
+    chosen = set(select) if select is not None else set(REGISTRY)
+    chosen -= set(ignore or ())
+    unknown = chosen - set(REGISTRY)
+    if unknown:
+        raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+    options = rule_options or {}
+    return [
+        REGISTRY[rule_id](options.get(rule_id))
+        for rule_id in sorted(chosen)
+    ]
+
+
+# Importing the rule modules populates REGISTRY as a side effect.
+from . import determinism as _determinism  # noqa: E402,F401
+from . import hygiene as _hygiene  # noqa: E402,F401
+from . import layering as _layering  # noqa: E402,F401
+
+__all__ = [
+    "REGISTRY",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "create_rules",
+    "register",
+]

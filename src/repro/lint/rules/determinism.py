@@ -1,0 +1,428 @@
+"""Determinism rules.
+
+Every figure in the reproduction and the chaos harness's
+same-seed-same-run guarantee depend on one property: a simulation run
+is a pure function of its seed. Three rules guard it.
+
+``no-ambient-entropy``
+    No interpreter-global RNG, wall clock, or OS entropy in simulation
+    code. Randomness flows from a seeded ``random.Random`` (usually the
+    simulator's ``rng``), time from the simulator's virtual ``now``.
+
+``no-unsorted-iteration``
+    Iterating a ``set`` observes hash order, which varies across
+    processes (``PYTHONHASHSEED``) and with object identity. When loop
+    order feeds the event scheduler, packet emission, or serialization,
+    that is silent nondeterminism. Order-sensitive iteration over sets
+    (``for`` loops, ``list``/``tuple`` conversions, list/dict
+    comprehensions, ``join``) must go through ``sorted(...)``;
+    order-insensitive folds (``sum``, ``len``, ``any``, set algebra)
+    remain free.
+
+``no-float-time-eq``
+    Simulated time is a float accumulated by addition; exact equality
+    (``t == deadline``) silently breaks when a refresh interval or
+    delay changes representation. Compare with inequalities or an
+    explicit tolerance.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..engine import FileContext, Finding
+from . import Rule, register
+
+# ----------------------------------------------------------------------
+# no-ambient-entropy
+# ----------------------------------------------------------------------
+
+#: random-module attributes that construct independent RNG instances.
+ALLOWED_RANDOM = frozenset({"Random", "SystemRandom"})
+
+#: Wall-clock reads (banned unless the profile sanctions host timing).
+#: ``time.perf_counter`` stays allowed everywhere: figure-12 style
+#: experiments measure real host CPU cost, which is a measurement of
+#: the host, not simulated behavior.
+WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: OS entropy sources that bypass the seed entirely.
+OS_ENTROPY = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+
+@register
+class AmbientEntropyRule(Rule):
+    id = "no-ambient-entropy"
+    summary = (
+        "simulation code must draw randomness from a seeded "
+        "random.Random and time from the simulator's virtual clock"
+    )
+    default_options = {"allow_wall_clock": False}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        allow_wall_clock = bool(self.options["allow_wall_clock"])
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = ctx.resolve_name(node.func)
+            if origin is None:
+                continue
+            parts = origin.split(".")
+            if parts[0] == "random" and len(parts) == 2 and \
+                    parts[1] not in ALLOWED_RANDOM:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{origin}() uses the interpreter-global RNG; draw "
+                    "from a seeded random.Random (e.g. sim.rng) instead",
+                )
+            elif origin in OS_ENTROPY or parts[0] == "secrets":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{origin}() reads OS entropy, which no seed can "
+                    "reproduce; derive ids/bytes from a seeded "
+                    "random.Random",
+                )
+            elif origin in WALL_CLOCK and not allow_wall_clock:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{origin}() reads the wall clock; use the "
+                    "simulator's virtual now (perf_counter is allowed "
+                    "for host-CPU measurements)",
+                )
+
+
+# ----------------------------------------------------------------------
+# no-unsorted-iteration
+# ----------------------------------------------------------------------
+
+#: Annotation heads that mark a name as set-typed.
+SET_ANNOTATIONS = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+
+#: Methods on a set that produce another set.
+SET_PRODUCING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Builtins that materialize iteration order into a sequence.
+ORDER_SENSITIVE_CONVERTERS = frozenset({"list", "tuple"})
+
+#: Dict-view methods (only checked when ``flag_dict_views`` is on).
+DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    head = annotation
+    if isinstance(head, ast.Subscript):
+        head = head.value
+    if isinstance(head, ast.Attribute):
+        return head.attr in SET_ANNOTATIONS
+    if isinstance(head, ast.Name):
+        return head.id in SET_ANNOTATIONS
+    if isinstance(head, ast.Constant) and isinstance(head.value, str):
+        # String annotation, e.g. ``"Set[NameRecord]"``.
+        stripped = head.value.split("[", 1)[0].strip().rsplit(".", 1)[-1]
+        return stripped in SET_ANNOTATIONS
+    return False
+
+
+class _SetTracker:
+    """File-local inference of which expressions are sets.
+
+    Purely syntactic and intraprocedural: set literals/comprehensions,
+    ``set()``/``frozenset()`` calls, set algebra, set-producing methods,
+    names assigned or annotated as sets in the enclosing scope, and
+    attributes a class in this file declares as sets.
+    """
+
+    def __init__(self, ctx: FileContext):
+        self.set_attrs: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AnnAssign) and \
+                    _annotation_is_set(node.annotation):
+                if isinstance(node.target, ast.Attribute):
+                    self.set_attrs.add(node.target.attr)
+            elif isinstance(node, ast.Assign):
+                if self._is_set_literalish(node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Attribute):
+                            self.set_attrs.add(target.attr)
+
+    @staticmethod
+    def _is_set_literalish(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"set", "frozenset"}
+        )
+
+    def scope_sets(self, scope: ast.AST) -> Set[str]:
+        """Names bound to sets within one function/module scope."""
+        names: Set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            for arg in (
+                list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if _annotation_is_set(arg.annotation):
+                    names.add(arg.arg)
+        # Two passes so ``a = set(); b = a | other`` resolves ``b``.
+        for _ in range(2):
+            for node in _scope_nodes(scope):
+                if isinstance(node, ast.Assign) and \
+                        self.is_set_expr(node.value, names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                elif isinstance(node, ast.AnnAssign) and \
+                        isinstance(node.target, ast.Name) and \
+                        _annotation_is_set(node.annotation):
+                    names.add(node.target.id)
+                elif isinstance(node, ast.AugAssign) and \
+                        isinstance(node.target, ast.Name) and \
+                        self.is_set_expr(node.value, names):
+                    names.add(node.target.id)
+        return names
+
+    def is_set_expr(self, node: ast.AST, scope_sets: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in scope_sets
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left, scope_sets) or \
+                self.is_set_expr(node.right, scope_sets)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and \
+                    func.id in {"set", "frozenset"}:
+                return True
+            if isinstance(func, ast.Attribute) and \
+                    func.attr in SET_PRODUCING_METHODS:
+                return self.is_set_expr(func.value, scope_sets)
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body, scope_sets) or \
+                self.is_set_expr(node.orelse, scope_sets)
+        return False
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk one scope's statements without entering nested scopes."""
+    body = scope.body if hasattr(scope, "body") else []
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                   ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@register
+class UnsortedIterationRule(Rule):
+    id = "no-unsorted-iteration"
+    summary = (
+        "order-sensitive iteration over a set observes hash order; "
+        "wrap the iterable in sorted(...)"
+    )
+    default_options = {"flag_dict_views": False}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        tracker = _SetTracker(ctx)
+        flag_dict_views = bool(self.options["flag_dict_views"])
+        for scope in _scopes(ctx.tree):
+            scope_sets = tracker.scope_sets(scope)
+            for node in _scope_nodes(scope):
+                yield from self._check_node(
+                    ctx, tracker, scope_sets, node, flag_dict_views
+                )
+
+    def _check_node(
+        self,
+        ctx: FileContext,
+        tracker: _SetTracker,
+        scope_sets: Set[str],
+        node: ast.AST,
+        flag_dict_views: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            if tracker.is_set_expr(node.iter, scope_sets):
+                yield self.finding(
+                    ctx,
+                    node.iter,
+                    "for-loop over a set observes hash order (varies "
+                    "with PYTHONHASHSEED/object identity); iterate "
+                    "sorted(...) so scheduling and emission order are "
+                    "reproducible",
+                )
+            elif flag_dict_views and self._is_dict_view(node.iter):
+                yield self.finding(
+                    ctx,
+                    node.iter,
+                    "for-loop over a dict view; this profile requires "
+                    "sorted(...) iteration",
+                )
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            for generator in node.generators:
+                if tracker.is_set_expr(generator.iter, scope_sets):
+                    yield self.finding(
+                        ctx,
+                        generator.iter,
+                        "comprehension builds an ordered result from a "
+                        "set's hash order; iterate sorted(...)",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            converter = None
+            if isinstance(func, ast.Name) and \
+                    func.id in ORDER_SENSITIVE_CONVERTERS:
+                converter = func.id
+            elif isinstance(func, ast.Attribute) and func.attr == "join":
+                converter = "join"
+            if converter and node.args and \
+                    tracker.is_set_expr(node.args[0], scope_sets):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{converter}(...) materializes a set's hash order "
+                    "into a sequence; use sorted(...) instead",
+                )
+
+    @staticmethod
+    def _is_dict_view(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DICT_VIEW_METHODS
+            and not node.args
+        )
+
+
+# ----------------------------------------------------------------------
+# no-float-time-eq
+# ----------------------------------------------------------------------
+
+#: Identifier tokens that mark an expression as simulated time.
+TIME_TOKENS = frozenset(
+    {"now", "time", "deadline", "expiry", "expires", "expire", "timestamp",
+     "clock"}
+)
+
+_TOKEN_SPLIT = re.compile(r"[^a-z0-9]+")
+
+
+def _tokens(identifier: str) -> Set[str]:
+    return {tok for tok in _TOKEN_SPLIT.split(identifier.lower()) if tok}
+
+
+def _time_like(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_tokens(node.id) & TIME_TOKENS)
+    if isinstance(node, ast.Attribute):
+        return bool(_tokens(node.attr) & TIME_TOKENS) or \
+            _time_like(node.value)
+    if isinstance(node, ast.Call):
+        return _time_like(node.func)
+    if isinstance(node, ast.BinOp):
+        return _time_like(node.left) or _time_like(node.right)
+    return False
+
+
+#: Call targets that make an equality comparison tolerance-based or
+#: that construct exact sentinels.
+_TOLERANCE_CALLS = frozenset({"approx", "isclose"})
+
+
+def _exempt_operand(node: ast.AST) -> bool:
+    """Operands whose equality comparison is exact or tolerance-based.
+
+    ``x == pytest.approx(y)`` and ``math.isclose`` are the sanctioned
+    fixes; ``math.inf`` / ``float("inf")`` sentinels compare exactly by
+    IEEE-754 construction; None/str/bool and container literals are not
+    float comparisons at all.
+    """
+    if isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bool))
+    ):
+        return True
+    if isinstance(node, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        terminal = node.id if isinstance(node, ast.Name) else node.attr
+        if terminal in {"inf", "nan"}:
+            return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        terminal = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if terminal in _TOLERANCE_CALLS:
+            return True
+        if terminal == "float" and node.args and isinstance(
+            node.args[0], ast.Constant
+        ) and str(node.args[0].value).lstrip("+-") in {"inf", "infinity"}:
+            return True
+    return False
+
+
+@register
+class FloatTimeEqRule(Rule):
+    id = "no-float-time-eq"
+    summary = (
+        "exact == / != on simulated time is brittle float equality; "
+        "compare with inequalities or a tolerance"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(_exempt_operand(operand) for operand in operands):
+                continue
+            if any(_time_like(operand) for operand in operands):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exact equality on simulated time breaks when a "
+                    "delay or interval changes float representation; "
+                    "use <=/>= bounds or an explicit tolerance",
+                )

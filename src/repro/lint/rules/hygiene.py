@@ -1,0 +1,117 @@
+"""Hygiene rules: shared-state and error-masking footguns.
+
+``no-mutable-default``
+    A mutable default argument is evaluated once and shared across
+    every call — in a system built around per-run simulator instances
+    that is cross-run state leakage, the exact thing seed isolation
+    exists to prevent.
+
+``no-silent-except``
+    The protocol handlers (INR/DSR dispatch, reliable channel, client
+    retry loop) are where faults surface. A bare ``except:`` also
+    catches ``SystemExit``/``KeyboardInterrupt``; an ``except`` whose
+    body is only ``pass``/``continue`` erases the fault the chaos
+    harness is trying to observe. Count it, log it, or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding
+from . import Rule, register
+
+#: Constructor calls whose results are mutable containers.
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+     "OrderedDict"}
+)
+
+#: AST literal nodes that build a fresh mutable container.
+MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "no-mutable-default"
+    summary = (
+        "mutable default arguments are shared across calls; default to "
+        "None and construct inside the function"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument is evaluated once and "
+                        "shared by every call; use None and build the "
+                        "container inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, MUTABLE_LITERALS):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in MUTABLE_CONSTRUCTORS
+        return False
+
+
+@register
+class SilentExceptRule(Rule):
+    id = "no-silent-except"
+    summary = (
+        "no bare except, and no handler that swallows the exception "
+        "without recording it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except also catches SystemExit and "
+                    "KeyboardInterrupt; name the exception type "
+                    "(at minimum 'except Exception')",
+                )
+            elif self._swallows(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "handler silently swallows the exception, hiding "
+                    "protocol faults from the chaos invariants; count "
+                    "it in stats, log it, or re-raise",
+                )
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ):
+                continue  # docstring / ellipsis placeholder
+            return False
+        return True

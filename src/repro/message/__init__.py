@@ -1,5 +1,18 @@
-"""The INS packet format (Section 4, Figure 10)."""
+"""The INS packet format (Section 4, Figure 10) and DSR wire messages."""
 
+from .dsr import (
+    DsrClaimCandidate,
+    DsrClaimResponse,
+    DsrDeregister,
+    DsrHeartbeat,
+    DsrListRequest,
+    DsrListResponse,
+    DsrRegisterActive,
+    DsrRegisterCandidate,
+    DsrReplicate,
+    DsrVspaceRequest,
+    DsrVspaceResponse,
+)
 from .header import (
     DEFAULT_HOP_LIMIT,
     HEADER_SIZE,
@@ -15,6 +28,17 @@ __all__ = [
     "Binding",
     "DEFAULT_HOP_LIMIT",
     "Delivery",
+    "DsrClaimCandidate",
+    "DsrClaimResponse",
+    "DsrDeregister",
+    "DsrHeartbeat",
+    "DsrListRequest",
+    "DsrListResponse",
+    "DsrRegisterActive",
+    "DsrRegisterCandidate",
+    "DsrReplicate",
+    "DsrVspaceRequest",
+    "DsrVspaceResponse",
     "HEADER_SIZE",
     "Header",
     "HeaderError",

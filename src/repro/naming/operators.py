@@ -31,11 +31,10 @@ def parse_number(text: str) -> Optional[Union[int, float]]:
     try:
         return int(text)
     except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        return None
+        try:
+            return float(text)
+        except ValueError:
+            return None
 
 
 class ValueMatcher:

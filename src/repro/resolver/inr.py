@@ -17,13 +17,13 @@ update-overloaded delegates a virtual space to a freshly spawned INR.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..message import Binding, Delivery, InsMessage
 from ..naming import NameSpecifier
 from ..nametree import Endpoint, NameRecord, NameTree, Route
 from ..netsim import Node, Process
-from ..overlay.protocol import (
+from ..message.dsr import (
     DsrClaimCandidate,
     DsrClaimResponse,
     DsrDeregister,
@@ -1027,7 +1027,12 @@ class INR(Process):
         if not records:
             self.stats.drops_no_route += 1
             return
-        live = [r for r in records if not r.is_expired(self.now)]
+        # lookup() returns a set; order the survivors deterministically
+        # before any scheduling/emission decision observes hash order.
+        live = sorted(
+            (r for r in records if not r.is_expired(self.now)),
+            key=lambda r: str(r.announcer),
+        )
         if not live:
             # Every match outlived its soft-state lifetime but the sweep
             # has not collected it yet; routing through it would target
@@ -1085,7 +1090,9 @@ class INR(Process):
         )
         self.handle_message(DataPacket(raw=reply.encode()), self.address)
 
-    def _route_anycast(self, tree: NameTree, packet: DataPacket, records) -> None:
+    def _route_anycast(
+        self, tree: NameTree, packet: DataPacket, records: Sequence[NameRecord]
+    ) -> None:
         best = min(
             records, key=lambda r: (r.anycast_metric, r.route.metric, str(r.announcer))
         )
@@ -1095,7 +1102,11 @@ class INR(Process):
             self._forward_to_inr(packet, best.route.next_hop)
 
     def _route_multicast(
-        self, tree: NameTree, packet: DataPacket, records, arrived_from: str
+        self,
+        tree: NameTree,
+        packet: DataPacket,
+        records: Sequence[NameRecord],
+        arrived_from: str,
     ) -> None:
         # Reverse-path rule: never forward a copy back over the link the
         # packet arrived on. The overlay is a tree, so this suffices to

@@ -1,0 +1,32 @@
+"""Shared helpers for the ``repro.lint`` test suite."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Engine
+
+
+@pytest.fixture
+def lint():
+    """Lint a source snippet under the strict profile.
+
+    Returns the findings list; pass ``path=`` to simulate a location
+    (e.g. ``src/repro/resolver/x.py`` to exercise the layering rule).
+    """
+
+    def _lint(source, path="snippet.py", **engine_kwargs):
+        engine = Engine(**engine_kwargs)
+        return engine.lint_text(textwrap.dedent(source), path=path)
+
+    return _lint
+
+
+@pytest.fixture
+def rule_ids(lint):
+    """Like ``lint`` but collapsed to the list of rule ids found."""
+
+    def _rule_ids(source, path="snippet.py", **engine_kwargs):
+        return [f.rule for f in lint(source, path=path, **engine_kwargs)]
+
+    return _rule_ids

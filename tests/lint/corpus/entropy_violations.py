@@ -1,0 +1,31 @@
+"""Corpus: every ambient-entropy pattern the rule must catch.
+
+Never imported; scanned by tests/lint/test_corpus.py. Line numbers are
+asserted — append, don't reorder.
+"""
+
+import os
+import random
+import secrets
+import time
+import uuid
+import random as rnd
+from datetime import datetime
+from random import randint
+from time import time as walltime
+
+ROLL = random.randint(0, 5)          # line 17: global RNG
+PICK = rnd.choice([1, 2])            # line 18: aliased module, global RNG
+FROM = randint(0, 5)                 # line 19: from-import of global RNG
+STAMP = time.time()                  # line 20: wall clock
+STAMP_NS = time.time_ns()            # line 21: wall clock
+ALIASED = walltime()                 # line 22: aliased wall clock
+TODAY = datetime.now()               # line 23: wall clock via datetime
+NONCE = os.urandom(8)                # line 24: OS entropy
+IDENT = uuid.uuid4()                 # line 25: OS entropy
+TOKEN = secrets.token_bytes(4)       # line 26: OS entropy
+
+# Sanctioned constructions must NOT be flagged:
+RNG = random.Random(7)
+DRAW = RNG.random()
+TICK = time.perf_counter()

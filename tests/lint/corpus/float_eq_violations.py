@@ -1,0 +1,25 @@
+"""Corpus: float equality on simulated time.
+
+Never imported; scanned by tests/lint/test_corpus.py. Line numbers are
+asserted — append, don't reorder.
+"""
+
+
+def due(sim, record, deadline):
+    if sim.now == deadline:              # line 9: == on simulated time
+        return True
+    if record.expires_at != deadline:    # line 11: != on simulated time
+        return False
+    return sim.now() == record.refresh_time + 0.5   # line 13: arithmetic
+
+
+# Exempt comparisons must NOT be flagged:
+import math
+
+
+def fine(sim, record, approx):
+    if record.expires_at == math.inf:
+        return True
+    if sim.now <= record.deadline:
+        return False
+    return sim.now == approx(record.deadline)

@@ -1,0 +1,35 @@
+"""Corpus: order-sensitive iteration over sets.
+
+Never imported; scanned by tests/lint/test_corpus.py. Line numbers are
+asserted — append, don't reorder.
+"""
+
+from typing import Set
+
+HOSTS = {"a", "b", "c"}
+
+for host in HOSTS:                       # line 11: for over a set
+    print(host)
+
+ORDERED = [h.upper() for h in HOSTS]     # line 14: listcomp over a set
+AS_LIST = list({"x", "y"})               # line 15: list() over a set
+JOINED = ",".join(HOSTS)                 # line 16: join over a set
+
+
+def emit(pending: Set[str]) -> None:
+    for item in pending:                 # line 20: annotated set param
+        print(item)
+
+
+def derived() -> None:
+    base = set("abc")
+    combined = base | {"d"}
+    for item in combined:                # line 27: set algebra result
+        print(item)
+
+
+# Order-insensitive consumption must NOT be flagged:
+TOTAL = len(HOSTS)
+ANY_HIT = any(h == "a" for h in sorted(HOSTS))
+SORTED_OK = [h for h in sorted(HOSTS)]
+UNIQUE = {h.upper() for h in HOSTS}

@@ -1,0 +1,7 @@
+"""Corpus: a bottom-layer module with no dependencies — zero findings."""
+
+from .avpair import AVPair
+from . import errors
+
+PAIR = AVPair
+FAMILY = errors

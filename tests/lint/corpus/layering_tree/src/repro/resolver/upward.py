@@ -1,0 +1,14 @@
+"""Corpus: a resolver module importing against the declared DAG.
+
+Never imported; scanned by tests/lint/test_corpus.py. Line numbers are
+asserted — append, don't reorder.
+"""
+
+from ..overlay import protocol           # line 7: resolver -> overlay
+from repro.client import api             # line 8: resolver -> client
+import repro.chaos                       # line 9: resolver -> chaos
+import repro                             # line 10: package-root import
+from ..frontend import widgets           # line 11: undeclared layer
+
+from ..naming import specifier           # allowed: declared dependency
+from . import config                     # allowed: same layer

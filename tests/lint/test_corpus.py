@@ -1,0 +1,105 @@
+"""Synthetic violation corpus: every rule fires at the asserted spot.
+
+The corpus files under ``tests/lint/corpus/`` are never imported (the
+directory is in the engine's default exclusions, so blanket scans skip
+it); linting them with an explicit root exercises every rule end to
+end, with exact rule ids, paths, and line numbers.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Engine, SEVERITY_ERROR, SEVERITY_WARNING
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+REPO = Path(__file__).resolve().parents[2]
+
+UPWARD = "layering_tree/src/repro/resolver/upward.py"
+CLEAN = "layering_tree/src/repro/naming/clean.py"
+
+#: (rule, path, line) for every finding the corpus must produce.
+EXPECTED = {
+    ("no-ambient-entropy", "entropy_violations.py", line)
+    for line in range(17, 27)
+} | {
+    ("no-unsorted-iteration", "iteration_violations.py", line)
+    for line in (11, 14, 15, 16, 20, 27)
+} | {
+    ("no-mutable-default", "hygiene_violations.py", line)
+    for line in (8, 13, 17)
+} | {
+    ("no-silent-except", "hygiene_violations.py", line)
+    for line in (24, 31)
+} | {
+    ("no-float-time-eq", "float_eq_violations.py", line)
+    for line in (9, 11, 13)
+} | {
+    ("layering", UPWARD, line)
+    for line in (7, 8, 9, 10, 11)
+}
+
+
+@pytest.fixture(scope="module")
+def corpus_result():
+    # Rooting the engine at the corpus dir gives every file the strict
+    # profile (the "tests" profile would disable no-float-time-eq).
+    return Engine(root=CORPUS).run([CORPUS])
+
+
+def test_every_expected_finding_and_nothing_else(corpus_result):
+    actual = {(f.rule, f.path, f.line) for f in corpus_result.findings}
+    assert actual == EXPECTED
+
+
+def test_undeclared_layer_is_the_only_warning(corpus_result):
+    warnings = [
+        f for f in corpus_result.findings
+        if f.severity == SEVERITY_WARNING
+    ]
+    assert [(f.rule, f.path, f.line) for f in warnings] == [
+        ("layering", UPWARD, 11)
+    ]
+    for finding in corpus_result.findings:
+        if (finding.rule, finding.path, finding.line) != (
+            "layering", UPWARD, 11
+        ):
+            assert finding.severity == SEVERITY_ERROR
+
+
+def test_clean_bottom_layer_module_has_no_findings(corpus_result):
+    assert not [f for f in corpus_result.findings if f.path == CLEAN]
+    # ... and it was actually scanned, not skipped by the walker.
+    discovered = [
+        p.resolve().relative_to(CORPUS).as_posix()
+        for p in Engine(root=CORPUS).discover([CORPUS])
+    ]
+    assert CLEAN in discovered
+
+
+def test_corpus_fails_the_build(corpus_result):
+    assert corpus_result.exit_code == 1
+
+
+def test_cli_reports_corpus_with_nonzero_exit():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.lint",
+            "--root", str(CORPUS), "--format", "json", str(CORPUS),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    assert proc.returncode == 1, proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["summary"]["errors"] == len(EXPECTED) - 1  # one warning
+    reported = {(f["rule"], f["path"], f["line"]) for f in report["findings"]}
+    assert reported == EXPECTED

@@ -1,0 +1,233 @@
+"""Engine-level behavior: pragmas, baseline, reporters, parse errors."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    BAD_PRAGMA,
+    Baseline,
+    BaselineEntry,
+    Engine,
+    PARSE_ERROR,
+    SEVERITY_WARNING,
+    USELESS_PRAGMA,
+    render_json,
+    render_text,
+)
+
+VIOLATION = "import random\nx = random.randint(0, 5)\n"
+
+
+class TestPragmas:
+    def test_justified_pragma_suppresses(self, lint):
+        findings = lint(
+            "import random\n"
+            "x = random.randint(0, 5)  "
+            "# lint: disable=no-ambient-entropy -- seeding study needs it\n"
+        )
+        assert findings == []
+
+    def test_unjustified_pragma_keeps_finding_and_reports_pragma(self, lint):
+        findings = lint(
+            "import random\n"
+            "x = random.randint(0, 5)  # lint: disable=no-ambient-entropy\n"
+        )
+        rules = sorted(f.rule for f in findings)
+        assert rules == [BAD_PRAGMA, "no-ambient-entropy"]
+
+    def test_comment_line_pragma_covers_next_line(self, lint):
+        findings = lint(
+            "import random\n"
+            "# lint: disable=no-ambient-entropy -- exercising the pragma\n"
+            "x = random.randint(0, 5)\n"
+        )
+        assert findings == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self, lint):
+        findings = lint(
+            "import random\n"
+            "x = random.randint(0, 5)  "
+            "# lint: disable=no-mutable-default -- wrong rule on purpose\n"
+        )
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["no-ambient-entropy", USELESS_PRAGMA]
+
+    def test_disable_all_with_justification(self, lint):
+        findings = lint(
+            "import random\n"
+            "x = random.randint(0, 5)  # lint: disable=all -- kitchen sink\n"
+        )
+        assert findings == []
+
+    def test_useless_pragma_is_warning(self, lint):
+        findings = lint(
+            "x = 1  # lint: disable=no-ambient-entropy -- nothing here\n"
+        )
+        assert [f.rule for f in findings] == [USELESS_PRAGMA]
+        assert findings[0].severity == SEVERITY_WARNING
+
+    def test_pragma_inside_string_ignored(self, lint):
+        findings = lint(
+            's = "# lint: disable=no-ambient-entropy -- not a pragma"\n'
+        )
+        assert findings == []
+
+    def test_suppressed_findings_counted_in_run(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import random\n"
+            "x = random.randint(0, 5)  "
+            "# lint: disable=no-ambient-entropy -- deliberate\n"
+        )
+        result = Engine(root=tmp_path).run([target])
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+        assert result.exit_code == 0
+
+
+class TestBaseline:
+    def _run(self, tmp_path, baseline=None):
+        engine = Engine(root=tmp_path, baseline=baseline)
+        return engine.run([tmp_path])
+
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        first = self._run(tmp_path)
+        assert first.exit_code == 1
+        baseline = Baseline.from_findings(first.findings)
+        second = self._run(tmp_path, baseline=baseline)
+        assert second.exit_code == 0
+        assert len(second.baselined) == 1
+        assert second.stale_baseline == []
+
+    def test_new_finding_still_fails_with_baseline(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        baseline = Baseline.from_findings(self._run(tmp_path).findings)
+        (tmp_path / "mod.py").write_text(
+            VIOLATION + "y = random.random()\n"
+        )
+        result = self._run(tmp_path, baseline=baseline)
+        assert result.exit_code == 1
+        assert len(result.findings) == 1
+        assert "random.random" in result.findings[0].message
+
+    def test_fixed_finding_reported_stale(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        baseline = Baseline.from_findings(self._run(tmp_path).findings)
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        result = self._run(tmp_path, baseline=baseline)
+        assert result.exit_code == 0
+        assert len(result.stale_baseline) == 1
+        assert result.stale_baseline[0].rule == "no-ambient-entropy"
+        pruned = baseline.pruned(result.stale_baseline)
+        assert pruned.entries == []
+
+    def test_fingerprint_survives_line_shift(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        baseline = Baseline.from_findings(self._run(tmp_path).findings)
+        (tmp_path / "mod.py").write_text(
+            "# a new leading comment shifts every line\n\n" + VIOLATION
+        )
+        result = self._run(tmp_path, baseline=baseline)
+        assert result.exit_code == 0
+        assert len(result.baselined) == 1
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        entry = BaselineEntry(
+            rule="no-ambient-entropy", path="mod.py", fingerprint="ab12",
+            count=2,
+        )
+        path = tmp_path / ".lint-baseline.json"
+        Baseline([entry]).save(path)
+        loaded = Baseline.load(path)
+        assert [e.to_dict() for e in loaded.entries] == [entry.to_dict()]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def _result(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        return Engine(root=tmp_path).run([tmp_path])
+
+    def test_json_schema(self, tmp_path):
+        report = json.loads(render_json(self._result(tmp_path)))
+        assert report["version"] == 1
+        summary = report["summary"]
+        for key in (
+            "files_scanned", "findings", "errors", "warnings",
+            "suppressed", "baselined", "stale_baseline", "by_rule",
+        ):
+            assert key in summary
+        assert summary["errors"] == 1
+        assert summary["by_rule"] == {"no-ambient-entropy": 1}
+        (finding,) = report["findings"]
+        for key in (
+            "rule", "severity", "path", "line", "col", "message",
+            "fingerprint", "source",
+        ):
+            assert key in finding
+        assert finding["path"] == "mod.py"
+        assert finding["line"] == 2
+
+    def test_text_report_mentions_location_and_rule(self, tmp_path):
+        text = render_text(self._result(tmp_path))
+        assert "mod.py:2:" in text
+        assert "[no-ambient-entropy]" in text
+        assert "1 error(s)" in text
+
+
+class TestEngineEdges:
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        result = Engine(root=tmp_path).run([tmp_path])
+        assert [f.rule for f in result.findings] == [PARSE_ERROR]
+        assert result.exit_code == 1
+
+    def test_select_and_ignore(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import random\n"
+            "x = random.randint(0, 5)\n"
+            "def f(y=[]):\n"
+            "    return y\n"
+        )
+        only = Engine(root=tmp_path, select=["no-mutable-default"]).run(
+            [tmp_path]
+        )
+        assert {f.rule for f in only.findings} == {"no-mutable-default"}
+        skipped = Engine(root=tmp_path, ignore=["no-mutable-default"]).run(
+            [tmp_path]
+        )
+        assert {f.rule for f in skipped.findings} == {"no-ambient-entropy"}
+
+    def test_unknown_rule_id_rejected(self):
+        from repro.lint import create_rules
+
+        with pytest.raises(ValueError):
+            create_rules(select=["no-such-rule"])
+
+    def test_unknown_rule_option_rejected(self):
+        from repro.lint import create_rules
+
+        with pytest.raises(ValueError):
+            create_rules(
+                select=["no-ambient-entropy"],
+                rule_options={"no-ambient-entropy": {"typo_option": 1}},
+            )
+
+    def test_discovery_skips_excluded_dirs(self, tmp_path):
+        nested = tmp_path / "corpus"
+        nested.mkdir()
+        (nested / "bad.py").write_text(VIOLATION)
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        result = Engine(root=tmp_path).run([tmp_path])
+        assert result.files_scanned == 1
+        assert result.findings == []

@@ -1,0 +1,113 @@
+"""Per-rule unit tests for the layering (declared module DAG) rule."""
+
+from repro.lint import SEVERITY_WARNING
+from repro.lint.rules.layering import LAYER_DAG
+
+RULE = "layering"
+
+
+def _layering(lint, source, path):
+    return [f for f in lint(source, path=path) if f.rule == RULE]
+
+
+class TestLayering:
+    def test_upward_absolute_import_flagged(self, lint):
+        found = _layering(
+            lint,
+            "from repro.overlay import protocol\n",
+            "src/repro/resolver/bad.py",
+        )
+        assert len(found) == 1
+        assert "resolver may not import overlay" in found[0].message
+
+    def test_upward_relative_import_flagged(self, lint):
+        found = _layering(
+            lint,
+            "from ..client import api\n",
+            "src/repro/nametree/bad.py",
+        )
+        assert len(found) == 1
+        assert "nametree may not import client" in found[0].message
+
+    def test_downward_import_allowed(self, lint):
+        assert not _layering(
+            lint,
+            "from ..resolver.ports import INR_PORT\n"
+            "from ..naming import AVPair\n"
+            "from ..netsim import Node\n",
+            "src/repro/overlay/good.py",
+        )
+
+    def test_same_layer_import_allowed(self, lint):
+        assert not _layering(
+            lint,
+            "from .cache import PacketCache\nfrom . import config\n",
+            "src/repro/resolver/good.py",
+        )
+
+    def test_package_root_import_flagged(self, lint):
+        found = _layering(
+            lint, "import repro\n", "src/repro/naming/bad.py"
+        )
+        assert len(found) == 1
+        assert "package root" in found[0].message
+
+    def test_undeclared_layer_is_warning(self, lint):
+        found = _layering(
+            lint,
+            "from ..frontend import widgets\n",
+            "src/repro/resolver/bad.py",
+        )
+        assert len(found) == 1
+        assert found[0].severity == SEVERITY_WARNING
+
+    def test_root_facade_modules_exempt(self, lint):
+        assert not _layering(
+            lint,
+            "from .client import InsClient\nfrom .overlay import X\n",
+            "src/repro/__init__.py",
+        )
+
+    def test_files_outside_repro_exempt(self, lint):
+        assert not _layering(
+            lint,
+            "from repro.overlay import protocol\n"
+            "from repro.naming import AVPair\n",
+            "benchmarks/bench_x.py",
+        )
+
+    def test_relative_import_from_package_init(self, lint):
+        # ``from .tree import X`` inside nametree/__init__.py stays in
+        # the nametree layer; ``from ..naming`` reaches one layer down.
+        assert not _layering(
+            lint,
+            "from .tree import NameTree\nfrom ..naming import AVPair\n",
+            "src/repro/nametree/__init__.py",
+        )
+
+    def test_declared_dag_is_acyclic(self):
+        seen = set()
+
+        def visit(pkg, stack):
+            assert pkg not in stack, f"cycle through {pkg}"
+            if pkg in seen:
+                return
+            seen.add(pkg)
+            for dep in LAYER_DAG[pkg]:
+                visit(dep, stack | {pkg})
+
+        for package in LAYER_DAG:
+            visit(package, frozenset())
+
+    def test_dag_matches_shipped_tree(self):
+        # Every subpackage shipped under src/repro must be declared, so
+        # a new layer cannot appear without a deliberate DAG entry.
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        shipped = {
+            child.name
+            for child in src.iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        }
+        assert shipped == set(LAYER_DAG)

@@ -1,0 +1,43 @@
+"""Tier-1 blanket scan: the shipped tree passes its own lint.
+
+This replaces the old ``tests/test_determinism_lint.py`` ad-hoc AST
+scan. The whole rule pack runs over src, tests, benchmarks, and
+examples with the per-directory profiles and the checked-in baseline —
+the same configuration ``python -m repro.lint`` uses, so pytest and CI
+cannot drift apart.
+"""
+
+from pathlib import Path
+
+from repro.lint import Baseline, DEFAULT_PROFILES, Engine, render_text
+from repro.lint.baseline import DEFAULT_BASELINE_NAME
+from repro.lint.cli import DEFAULT_PATHS
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run():
+    baseline = Baseline.load(REPO / DEFAULT_BASELINE_NAME)
+    engine = Engine(profiles=DEFAULT_PROFILES, baseline=baseline, root=REPO)
+    roots = [REPO / name for name in DEFAULT_PATHS if (REPO / name).is_dir()]
+    return engine.run(roots)
+
+
+def test_shipped_tree_is_lint_clean():
+    result = _run()
+    assert result.errors == [], "\n" + render_text(result)
+    assert result.warnings == [], "\n" + render_text(result)
+
+
+def test_baseline_has_no_stale_entries():
+    result = _run()
+    assert result.stale_baseline == [], [
+        entry.to_dict() for entry in result.stale_baseline
+    ]
+
+
+def test_blanket_scan_actually_covers_the_tree():
+    result = _run()
+    # The repo ships ~200 Python files; a collapsing count means the
+    # walker or the profile wiring broke, not that the tree shrank.
+    assert result.files_scanned > 150

@@ -64,11 +64,11 @@ class TestGetName:
     def test_names_iterates_all_pairs(self, tree):
         wires = {"[a=b]", "[c=d[e=f]]"}
         inserted = {}
-        for wire in wires:
+        for wire in sorted(wires):
             record = make_record(host=wire)
             tree.insert(parse(wire), record)
             inserted[wire] = record
         extracted = {name.to_wire(): record for name, record in tree.names()}
         assert set(extracted) == wires
-        for wire in wires:
+        for wire in sorted(wires):
             assert extracted[wire] is inserted[wire]

@@ -46,8 +46,8 @@ class TestJoin:
                 x = parent[x]
             return x
 
-        for edge in edges:
-            x, y = tuple(edge)
+        for edge in sorted(edges, key=sorted):
+            x, y = sorted(edge)
             parent[find(x)] = find(y)
         roots = {find(inr.address) for inr in domain.inrs}
         assert len(roots) == 1
