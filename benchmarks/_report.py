@@ -8,12 +8,29 @@ can reference stable artifacts.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Sequence, Tuple
 
 _TABLES: List[Tuple[str, Sequence[str], List[Sequence[str]]]] = []
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_json_artifact(name: str, payload: dict) -> str:
+    """Write ``payload`` under ``benchmarks/results/`` as canonical JSON.
+
+    Canonical means sorted keys, two-space indent and a trailing
+    newline, so two runs that produce equal payloads produce
+    byte-identical files — the property the determinism checks diff on.
+    Returns the path written.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def record_table(title: str, headers: Sequence[str], rows: List[Sequence]) -> None:

@@ -13,15 +13,20 @@ zero permanently-hung replies, paid for with retry traffic and a
 longer success tail (retried requests succeed late instead of never).
 
 Emits ``BENCH_availability.json`` with both runs plus the success-rate
-delta for trend tracking across sessions.
+delta for trend tracking across sessions. The resilience-on run is
+traced (``observe=True``): every lookup's hop-by-hop span tree lands in
+``BENCH_availability_spans.jsonl`` and, for ``chrome://tracing`` /
+Perfetto, ``BENCH_availability_trace.json``; the artifact JSON embeds
+the harvested metrics and span summary under ``observability``.
 """
 
 import math
 import os
 
-from _report import RESULTS_DIR, record_table
+from _report import RESULTS_DIR, record_table, write_json_artifact
 
 from repro.chaos import run_availability_scenario, write_bench_availability_json
+from repro.obs import well_formed_traces, write_chrome_trace, write_spans_jsonl
 
 SEED = 7
 
@@ -34,7 +39,7 @@ def _mttr_cell(report, kind):
 def test_availability_resilience_on_vs_off(benchmark):
     reports = benchmark.pedantic(
         lambda: (
-            run_availability_scenario(seed=SEED, resilience=True),
+            run_availability_scenario(seed=SEED, resilience=True, observe=True),
             run_availability_scenario(seed=SEED, resilience=False),
         ),
         rounds=1,
@@ -44,6 +49,28 @@ def test_availability_resilience_on_vs_off(benchmark):
     payload = write_bench_availability_json(
         os.path.join(RESULTS_DIR, "BENCH_availability.json"), resilient, bare
     )
+    # Span-tree acceptance: every traced lookup forms a well-formed tree
+    # (single client.request root, every hop span parented inside it),
+    # and the artifacts are written for offline inspection.
+    spans = resilient.collector.tracer.spans
+    assert spans, "observed run produced no spans"
+    assert well_formed_traces(spans) == {}
+    roots = [span for span in spans if span.is_root]
+    assert all(span.name == "client.request" for span in roots)
+    assert len(roots) == resilient.requests_attempted
+    write_spans_jsonl(
+        os.path.join(RESULTS_DIR, "BENCH_availability_spans.jsonl"), spans
+    )
+    write_chrome_trace(
+        os.path.join(RESULTS_DIR, "BENCH_availability_trace.json"), spans
+    )
+    # The standalone metrics snapshot — the artifact the determinism
+    # contract promises is byte-identical across same-seed runs.
+    write_json_artifact(
+        "BENCH_availability_metrics.json",
+        resilient.collector.metrics_snapshot(),
+    )
+    assert "observability" in payload
     record_table(
         "Availability: request resilience on vs off "
         "(4 INRs, crash+restart / partition / lossy links / CPU overload)",

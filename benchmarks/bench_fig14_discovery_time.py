@@ -5,11 +5,17 @@ hop count with a slope under 10 ms/hop; typical discovery times are a
 few tens of milliseconds.
 """
 
+import os
+
 import pytest
 
-from _report import record_table
+from _report import RESULTS_DIR, record_table
 
-from repro.experiments.fig14 import run_discovery_experiment, slope_ms_per_hop
+from repro.experiments.fig14 import (
+    run_discovery_experiment,
+    slope_ms_per_hop,
+    write_bench_discovery_json,
+)
 
 
 def test_fig14_discovery_time(benchmark):
@@ -19,6 +25,16 @@ def test_fig14_discovery_time(benchmark):
         iterations=1,
     )
     slope = slope_ms_per_hop(rows)
+    # Observed rerun: same seed, collector attached. Discovery traffic
+    # carries no trace contexts, so observation must not move a single
+    # timestamp — the zero-cost-when-off claim, checked per row.
+    observed_rows, collector = run_discovery_experiment(max_hops=9, observe=True)
+    assert observed_rows == rows
+    payload = write_bench_discovery_json(
+        os.path.join(RESULTS_DIR, "BENCH_discovery.json"), rows, collector
+    )
+    metrics = payload["observability"]["metrics"]
+    assert "counters" in metrics and "gauges" in metrics
     record_table(
         "Figure 14: discovery time of a new name vs INR hops "
         f"(slope {slope:.2f} ms/hop)",

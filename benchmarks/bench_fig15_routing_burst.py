@@ -7,11 +7,18 @@ stays flat near 9.8 ms/packet; a different vspace costs a near-constant
 381 ms per burst (one DSR query, then cached forwarding).
 """
 
+import os
+
 import pytest
 
-from _report import record_table
+from _report import RESULTS_DIR, record_table
 
-from repro.experiments.fig15 import run_routing_experiment
+from repro.experiments.fig15 import (
+    run_observed_routing,
+    run_routing_experiment,
+    write_bench_routing_json,
+)
+from repro.obs import well_formed_traces
 from repro.resolver import CostModel
 
 
@@ -20,6 +27,20 @@ def test_fig15_routing_burst(benchmark):
         lambda: run_routing_experiment(name_counts=(250, 1000, 2500, 5000)),
         rounds=1,
         iterations=1,
+    )
+    # Traced rerun of the remote-same-vspace burst: every packet must
+    # produce a complete root -> forwarded-at-inr-a -> delivered-at-inr-b
+    # span chain.
+    burst_ms, collector = run_observed_routing(names=250)
+    assert well_formed_traces(collector.tracer.spans) == {}
+    hops = [s for s in collector.tracer.spans if s.name == "inr.hop"]
+    assert sum(1 for s in hops if s.status == "forwarded") == 100
+    assert sum(1 for s in hops if s.status == "delivered") == 100
+    write_bench_routing_json(
+        os.path.join(RESULTS_DIR, "BENCH_routing.json"),
+        rows,
+        observed_burst_ms=burst_ms,
+        collector=collector,
     )
     record_table(
         "Figure 15: time to route 100 packets (ms per burst)",

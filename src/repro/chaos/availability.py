@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..client import RetryPolicy
 from ..experiments.domain import DSR_HOST, InsDomain
 from ..naming import NameSpecifier
+from ..obs import merge_counts
 from ..resolver import InrConfig
 from .plan import ChaosController, FaultEvent, FaultPlan
 from .recovery import RecoveryTracker, percentile
@@ -124,6 +125,7 @@ def run_availability_scenario(
     retry_policy: Optional[RetryPolicy] = None,
     settle: float = 3.0,
     drain: Optional[float] = None,
+    observe: bool = False,
 ) -> AvailabilityReport:
     """Run steady lookup traffic through a seeded fault plan.
 
@@ -132,6 +134,13 @@ def run_availability_scenario(
     fault plan itself is identical for both settings of ``resilience``
     (same seed, same surface), so the pair of runs is a controlled
     ablation of the resilience machinery alone.
+
+    ``observe=True`` attaches a :class:`repro.obs.ObsCollector` before
+    any traffic flows: every lookup then produces a hop-by-hop span
+    tree and the harvested metrics registry rides on the returned
+    report as ``report.collector`` (a plain attribute — it is not part
+    of the dataclass, the fingerprint, or the JSON artifact's report
+    sections).
     """
     config = config or fast_chaos_config()
     config = replace(config, admission_control=resilience)
@@ -147,6 +156,7 @@ def run_availability_scenario(
         dsr_registration_lifetime=3.0 * config.heartbeat_interval,
         dsr_sweep_interval=max(0.5, config.heartbeat_interval / 2.0),
     )
+    collector = domain.observe() if observe else None
     inrs = [domain.add_inr() for _ in range(n_inrs)]
     names = [
         NameSpecifier.parse(f"[service=avail[id={index}]]")
@@ -278,7 +288,12 @@ def run_availability_scenario(
             hung += 1
     attempted = len(outstanding)
 
-    return AvailabilityReport(
+    # Aggregate the per-component counters through their uniform
+    # snapshot() shape instead of plucking fields one by one.
+    client_totals = merge_counts(c.stats.snapshot() for c in clients)
+    inr_totals = merge_counts(inr.stats.snapshot() for inr in domain.inrs)
+
+    report = AvailabilityReport(
         seed=seed,
         resilience=resilience,
         requests_attempted=attempted,
@@ -289,18 +304,22 @@ def run_availability_scenario(
         success_rate=succeeded / attempted if attempted else 0.0,
         latency_p50=percentile(latencies, 0.50) if latencies else float("nan"),
         latency_p99=percentile(latencies, 0.99) if latencies else float("nan"),
-        retries=sum(c.stats.retries for c in clients),
-        failovers=sum(c.stats.failovers for c in clients),
-        deadline_exceeded=sum(c.stats.deadline_exceeded for c in clients),
-        pushbacks_received=sum(c.stats.pushbacks_received for c in clients),
-        shed_periodic=sum(inr.stats.shed_periodic for inr in domain.inrs),
-        shed_triggered=sum(inr.stats.shed_triggered for inr in domain.inrs),
-        pushbacks_sent=sum(inr.stats.pushbacks_sent for inr in domain.inrs),
+        retries=int(client_totals.get("retries", 0)),
+        failovers=int(client_totals.get("failovers", 0)),
+        deadline_exceeded=int(client_totals.get("deadline_exceeded", 0)),
+        pushbacks_received=int(client_totals.get("pushbacks_received", 0)),
+        shed_periodic=int(inr_totals.get("shed_periodic", 0)),
+        shed_triggered=int(inr_totals.get("shed_triggered", 0)),
+        pushbacks_sent=int(inr_totals.get("pushbacks_sent", 0)),
         faults_applied=len(controller.applied),
         fault_kinds=plan.kinds,
         mttr=tracker.mttr_summary(),
         sim_time=domain.now,
     )
+    if collector is not None:
+        domain.harvest()
+        report.collector = collector
+    return report
 
 
 def write_bench_availability_json(
@@ -310,7 +329,11 @@ def write_bench_availability_json(
 ) -> dict:
     """Emit ``BENCH_availability.json``: the on/off availability
     comparison as a machine-readable artifact for later sessions.
-    Returns the payload."""
+
+    A report carrying a collector (``observe=True`` runs) contributes
+    an ``observability`` section — per-hop latency percentiles, drop
+    attribution, and the full metrics snapshot. Returns the payload.
+    """
     payload = {
         "benchmark": "availability-chaos",
         "schema_version": 1,
@@ -320,6 +343,16 @@ def write_bench_availability_json(
             resilience_on.success_rate - resilience_off.success_rate, 6
         ),
     }
+    observability = {}
+    for key, report in (
+        ("resilience_on", resilience_on),
+        ("resilience_off", resilience_off),
+    ):
+        collector = getattr(report, "collector", None)
+        if collector is not None:
+            observability[key] = collector.observability_payload()
+    if observability:
+        payload["observability"] = observability
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

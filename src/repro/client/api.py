@@ -26,12 +26,13 @@ current one. Per-client counters live in :class:`ClientStats`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, Optional, Tuple
 
 from ..message import Binding, Delivery, InsMessage
 from ..naming import NameSpecifier
 from ..netsim import Node, Process
+from ..obs import STATUS_OK
 from ..message.dsr import DsrListRequest, DsrListResponse
 from ..resolver.ports import DSR_PORT, INR_PORT
 from ..resolver.protocol import (
@@ -105,6 +106,11 @@ class ClientStats:
     failovers: int = 0
     attach_retries: int = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """Every counter in declaration order — the uniform shape the
+        metrics registry ingests and artifacts embed."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 @dataclass
 class _PendingRequest:
@@ -117,6 +123,8 @@ class _PendingRequest:
     timeouts: int = 0
     resolver: Optional[str] = None
     timer: Optional[object] = None
+    #: The root span covering this request, when the domain is traced.
+    span: Optional[object] = None
 
     def cancel_timer(self) -> None:
         if self.timer is not None:
@@ -151,6 +159,9 @@ class InsClient(Process):
         self.reselect_interval = reselect_interval
         self.retry_policy = retry_policy or RetryPolicy()
         self.stats = ClientStats()
+        #: Observability hook: a ``repro.obs.Tracer`` when the domain is
+        #: being observed, None otherwise (zero cost when off).
+        self.tracer = None
         self.attached = Reply()
         self._pending: Dict[int, _PendingRequest] = {}
         self._ping_rtts: Dict[str, float] = {}
@@ -318,6 +329,15 @@ class InsClient(Process):
             self._require_resolver()
         self.stats.requests_sent += 1
         pending = _PendingRequest(reply=reply, request=request, started_at=self.now)
+        if self.tracer is not None:
+            # Root span of the trace: every INR hop this request touches
+            # nests under it through the wire context.
+            pending.span = self.tracer.start_span(
+                "client.request",
+                node=f"{self.address}:{self.port}",
+                tags={"kind": type(request).__name__},
+            )
+            request.trace = pending.span.context
         self._pending[request.request_id] = pending
         if not policy.enabled:
             # Fire-and-forget: one datagram, no timers, replies may hang.
@@ -349,6 +369,11 @@ class InsClient(Process):
         self.stats.attempts_sent += 1
         if pending.attempts > 1:
             self.stats.retries += 1
+        if pending.span is not None:
+            self.tracer.annotate(
+                pending.span,
+                f"attempt {pending.attempts} -> {self.resolver}",
+            )
         self.send(self.resolver, INR_PORT, pending.request)
         timeout = min(
             policy.request_timeout * policy.backoff_factor ** pending.timeouts,
@@ -370,6 +395,10 @@ class InsClient(Process):
         if pending is None or pending.attempts != attempt_no:
             return  # answered, or superseded by a pushback reschedule
         pending.timeouts += 1
+        if pending.span is not None:
+            self.tracer.annotate(
+                pending.span, f"timeout {pending.timeouts} at {pending.resolver}"
+            )
         self._note_resolver_failure(pending.resolver)
         if pending.timeouts >= self.retry_policy.max_attempts:
             self._fail_request(request_id, RequestTimeout(
@@ -387,6 +416,15 @@ class InsClient(Process):
         self.stats.requests_failed += 1
         if isinstance(error, DeadlineExceeded):
             self.stats.deadline_exceeded += 1
+        if pending.span is not None:
+            status = (
+                "deadline-exceeded"
+                if isinstance(error, DeadlineExceeded)
+                else "timeout"
+                if isinstance(error, RequestTimeout)
+                else "failed"
+            )
+            self.tracer.end_span(pending.span, status)
         pending.reply.fail(error)
 
     def _note_resolver_failure(self, address: Optional[str]) -> None:
@@ -411,6 +449,12 @@ class InsClient(Process):
         # The resolver is alive, just shedding: its hint replaces our own
         # backoff and does not count toward failover.
         self._consecutive_failures = 0
+        if pending.span is not None:
+            self.tracer.annotate(
+                pending.span,
+                f"pushback from {pushback.responder}, "
+                f"retry after {pushback.retry_after:.3f}s",
+            )
         if not self.retry_policy.enabled:
             return
         pending.cancel_timer()
@@ -453,7 +497,20 @@ class InsClient(Process):
     # ------------------------------------------------------------------
     def send_message(self, message: InsMessage) -> None:
         """Hand a fully-formed INS message to the attached resolver."""
-        self.send(self._require_resolver(), INR_PORT, DataPacket(raw=message.encode()))
+        resolver = self._require_resolver()
+        if self.tracer is not None and message.trace is None:
+            # Root span for a late-binding send: zero-duration anchor
+            # that the per-INR hop spans nest under.
+            span = self.tracer.start_span(
+                "client.send",
+                node=f"{self.address}:{self.port}",
+                tags={"delivery": message.delivery.value},
+            )
+            message.trace = span.context
+            self.send(resolver, INR_PORT, DataPacket(raw=message.encode()))
+            self.tracer.end_span(span, "sent")
+            return
+        self.send(resolver, INR_PORT, DataPacket(raw=message.encode()))
 
     def send_anycast(
         self,
@@ -512,6 +569,8 @@ class InsClient(Process):
                 pending.cancel_timer()
                 self.stats.requests_succeeded += 1
                 self._consecutive_failures = 0
+                if pending.span is not None:
+                    self.tracer.end_span(pending.span, STATUS_OK)
                 pending.reply.resolve(
                     payload.bindings
                     if isinstance(payload, ResolutionResponse)

@@ -67,6 +67,8 @@ class InsDomain:
         self.services: List[Service] = []
         self.clients: List[InsClient] = []
         self.dsr_replicas: List[DomainSpaceResolver] = []
+        #: The run's ObsCollector once :meth:`observe` has been called.
+        self.collector = None
 
     # ------------------------------------------------------------------
     # Node management
@@ -116,6 +118,8 @@ class InsDomain:
             was_spawned=was_spawned,
         )
         self.inrs.append(inr)
+        if self.collector is not None:
+            inr.tracer = self.collector.tracer
         inr.start()
         if settle > 0:
             self.sim.run_for(settle)
@@ -260,8 +264,45 @@ class InsDomain:
             **extra,
         )
         self.clients.append(client)
+        if self.collector is not None:
+            client.tracer = self.collector.tracer
         client.start()
         return client
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def observe(self, profile_events: bool = False):
+        """Attach an :class:`~repro.obs.ObsCollector` to the domain.
+
+        Installs one shared tracer on every current and future INR and
+        client (spawned helpers inherit it through :meth:`add_inr`), so
+        each client request produces a complete hop-by-hop span tree.
+        ``profile_events=True`` additionally counts every simulator
+        event by callback. Idempotent: repeated calls return the same
+        collector. Call :meth:`harvest` at the end of the run to absorb
+        the per-component stats into the collector's registry.
+        """
+        from ..obs import ObsCollector
+
+        if self.collector is None:
+            self.collector = ObsCollector(clock=lambda: self.sim.now)
+            if profile_events:
+                self.collector.profile_simulator(self.sim)
+        tracer = self.collector.tracer
+        for inr in self.inrs:
+            inr.tracer = tracer
+        for client in self.clients:
+            client.tracer = tracer
+        return self.collector
+
+    def harvest(self):
+        """Absorb every component's stats into the collector's metrics
+        registry (labelled per INR / client / link) and return it."""
+        if self.collector is None:
+            raise RuntimeError("call observe() before harvest()")
+        self.collector.harvest_domain(self)
+        return self.collector
 
     # ------------------------------------------------------------------
     # Running

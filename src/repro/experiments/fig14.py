@@ -17,8 +17,10 @@ the simulator event by event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..naming import NameSpecifier
 from ..resolver import InrConfig
@@ -60,14 +62,22 @@ def run_discovery_experiment(
     max_hops: int = 8,
     seed: int = 0,
     chain_latency: float = 0.002,
-) -> List[DiscoveryRow]:
+    observe: bool = False,
+) -> Union[List[DiscoveryRow], Tuple[List[DiscoveryRow], object]]:
     """Reproduce Figure 14 on a chain of ``max_hops + 1`` INRs.
 
     Hop h is the h-th resolver away from the one the new service
     attached to; discovery time is when h's tree first contains the
     name.
+
+    ``observe=True`` runs the chain under an
+    :class:`~repro.obs.ObsCollector` with per-event simulator profiling
+    and returns ``(rows, collector)``; the harvested metrics explain
+    the slope (update fan-out per hop, per-INR name counts, per-link
+    traffic) rather than just reporting it.
     """
     domain = build_chain_domain(max_hops + 1, chain_latency=chain_latency, seed=seed)
+    collector = domain.observe(profile_events=True) if observe else None
     # Verify the topology really is a chain; a mis-built overlay would
     # silently turn the linear-in-hops claim into something else.
     for index, inr in enumerate(domain.inrs[1:], start=1):
@@ -105,7 +115,34 @@ def run_discovery_experiment(
                 discovery_ms=(discovered_at[address] - announced_at) * 1000.0,
             )
         )
+    if collector is not None:
+        domain.harvest()
+        return rows, collector
     return rows
+
+
+def write_bench_discovery_json(
+    path: Union[str, Path],
+    rows: Sequence[DiscoveryRow],
+    collector: Optional[object] = None,
+) -> dict:
+    """Emit ``BENCH_discovery.json``: the Figure 14 curve plus, when a
+    collector from an ``observe=True`` run is given, an
+    ``observability`` section (metrics snapshot + span summary)
+    explaining where the per-hop milliseconds went. Returns the payload.
+    """
+    payload = {
+        "benchmark": "fig14-discovery-time",
+        "schema_version": 1,
+        "rows": [asdict(row) for row in rows],
+        "slope_ms_per_hop": round(slope_ms_per_hop(rows), 6),
+    }
+    if collector is not None:
+        payload["observability"] = collector.observability_payload()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
 
 
 def slope_ms_per_hop(rows: Sequence[DiscoveryRow]) -> float:

@@ -18,8 +18,9 @@ INR, the time to process and route the burst in three placements:
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence
 
 from ..message import Binding, Delivery, InsMessage
@@ -68,11 +69,20 @@ def _fill_tree(tree, count: int, seed: int) -> None:
 
 
 def _burst_makespan_ms(
-    domain: InsDomain, inr, destination: NameSpecifier, source_name: NameSpecifier
+    domain: InsDomain,
+    inr,
+    destination: NameSpecifier,
+    source_name: NameSpecifier,
+    tracer=None,
 ) -> float:
     """Send the burst straight at ``inr`` and measure how long its CPU
     takes to finish processing and routing it (the per-INR quantity the
-    paper's figure reports)."""
+    paper's figure reports).
+
+    With a ``tracer``, every packet carries its own root span's trace
+    context on the wire (24 extra bytes), so each one produces a
+    per-INR hop-span chain downstream.
+    """
     message = InsMessage(
         destination=destination,
         source=source_name,
@@ -87,10 +97,18 @@ def _burst_makespan_ms(
     )
     start = domain.now
     busy_before = inr.node.cpu.busy_seconds
-    for _ in range(_BURST):
+    for index in range(_BURST):
+        if tracer is not None:
+            span = tracer.start_span(
+                "burst.packet", node=sender.address, tags={"index": index}
+            )
+            message.trace = span.context
+            raw = message.encode()
         domain.network.send(
             sender.address, inr.address, INR_PORT, DataPacket(raw=raw), len(raw) + 28
         )
+        if tracer is not None:
+            tracer.end_span(span, "sent")
     # Bounded: periodic timers reschedule forever, so run() would spin.
     domain.sim.run(until=start + 60.0)
     # The per-INR quantity Figure 15 reports is the CPU time spent
@@ -129,10 +147,10 @@ def _measure_local(names: int, seed: int, costs: Optional[CostModel]) -> float:
     return _burst_makespan_ms(domain, inr, destination, NameSpecifier())
 
 
-def _measure_remote_same_vspace(
-    names: int, seed: int, costs: Optional[CostModel]
-) -> float:
-    domain = InsDomain(seed=seed, config=_quiet_config(), costs=costs)
+def _setup_remote_same_vspace(domain: InsDomain, names: int, seed: int):
+    """The two-INR forwarding topology: ``inr-a`` holds a route to
+    ``inr-b``, which delivers to the sink. Returns (inr_a, destination).
+    """
     inr_a = domain.add_inr(address="inr-a")
     inr_b = domain.add_inr(address="inr-b")
     sink = domain.add_client(address="sink-host", resolver=inr_b)
@@ -154,6 +172,14 @@ def _measure_remote_same_vspace(
             endpoints=[Endpoint(host=sink.address, port=sink.port)],
         ),
     )
+    return inr_a, destination
+
+
+def _measure_remote_same_vspace(
+    names: int, seed: int, costs: Optional[CostModel]
+) -> float:
+    domain = InsDomain(seed=seed, config=_quiet_config(), costs=costs)
+    inr_a, destination = _setup_remote_same_vspace(domain, names, seed)
     return _burst_makespan_ms(domain, inr_a, destination, NameSpecifier())
 
 
@@ -195,3 +221,50 @@ def run_routing_experiment(
             )
         )
     return rows
+
+
+def run_observed_routing(
+    names: int = 250, seed: int = 0, costs: Optional[CostModel] = None
+):
+    """One traced remote-same-vspace burst: every packet's root span
+    chains into an ``inr.hop`` span at ``inr-a`` (forwarded) and another
+    at ``inr-b`` (delivered), so the artifact shows the per-hop split of
+    the ~9.8 ms/packet figure. Traced packets are 24 wire bytes larger,
+    so the makespan here is *not* comparable to the untraced curves.
+    Returns ``(burst_ms, collector)``.
+    """
+    domain = InsDomain(seed=seed, config=_quiet_config(), costs=costs)
+    collector = domain.observe(profile_events=True)
+    inr_a, destination = _setup_remote_same_vspace(domain, names, seed)
+    burst_ms = _burst_makespan_ms(
+        domain, inr_a, destination, NameSpecifier(), tracer=collector.tracer
+    )
+    domain.harvest()
+    return burst_ms, collector
+
+
+def write_bench_routing_json(
+    path,
+    rows: Sequence[RoutingRow],
+    observed_burst_ms: Optional[float] = None,
+    collector=None,
+) -> dict:
+    """Emit ``BENCH_routing.json``: the Figure 15 curves plus, when an
+    :func:`run_observed_routing` result is given, an ``observability``
+    section with the traced burst's span summary (per-hop percentiles,
+    drop attribution) and metrics snapshot. Returns the payload."""
+    payload = {
+        "benchmark": "fig15-routing-burst",
+        "schema_version": 1,
+        "rows": [asdict(row) for row in rows],
+    }
+    if collector is not None:
+        payload["observability"] = collector.observability_payload()
+        if observed_burst_ms is not None:
+            payload["observability"]["traced_burst_ms"] = round(
+                observed_burst_ms, 6
+            )
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -30,9 +30,17 @@ class Profile:
 #: The strict regime: every rule, default options.
 STRICT = Profile(name="strict")
 
-#: Profiles keyed by the first path segment relative to the repo root.
+#: Profiles keyed by a path prefix relative to the repo root; the
+#: longest matching prefix wins, so a subtree can override its parent.
 DEFAULT_PROFILES: Dict[str, Profile] = {
     "src": Profile(name="src"),
+    # The observability layer is where all timing comes from: it must
+    # never consult the host. Pin the wall-clock ban explicitly so a
+    # future relaxation of the src profile cannot silently reach obs.
+    "src/repro/obs": Profile(
+        name="obs",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
+    ),
     "examples": Profile(name="examples"),
     # Tests exercise internals across layers (the layering DAG governs
     # the package, not its tests) and deliberately assert *exact*
@@ -57,10 +65,17 @@ def profile_for(
 ) -> Profile:
     """Pick the profile for a file from its repo-relative path.
 
-    Accepts a profile name directly as well, so tests can force one.
+    The longest table prefix (on ``/`` boundaries) wins, so
+    ``src/repro/obs`` overrides ``src`` for files beneath it. Accepts a
+    profile name directly as well, so tests can force one.
     """
     table = DEFAULT_PROFILES if profiles is None else profiles
     if rel_path in table:
         return table[rel_path]
-    head = rel_path.replace("\\", "/").lstrip("./").split("/", 1)[0]
-    return table.get(head, STRICT)
+    normalized = rel_path.replace("\\", "/").lstrip("./")
+    parts = normalized.split("/")
+    for depth in range(len(parts), 0, -1):
+        prefix = "/".join(parts[:depth])
+        if prefix in table:
+            return table[prefix]
+    return STRICT

@@ -31,34 +31,39 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "netsim": frozenset(),
     "analysis": frozenset(),
     "lint": frozenset(),
+    #: Observability sits at the bottom, beside naming/netsim: it
+    #: imports nothing from the system so every layer above may record
+    #: spans and metrics into it (message carries its TraceContext).
+    "obs": frozenset(),
     "nametree": frozenset({"naming"}),
-    "message": frozenset({"naming"}),
-    "resolver": frozenset({"naming", "nametree", "message", "netsim"}),
+    "message": frozenset({"naming", "obs"}),
+    "resolver": frozenset({"naming", "nametree", "message", "netsim", "obs"}),
     "overlay": frozenset(
-        {"naming", "nametree", "message", "netsim", "resolver"}
+        {"naming", "nametree", "message", "netsim", "resolver", "obs"}
     ),
     "client": frozenset(
-        {"naming", "nametree", "message", "netsim", "resolver", "overlay"}
+        {"naming", "nametree", "message", "netsim", "resolver", "overlay",
+         "obs"}
     ),
     "baselines": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
-         "client"}
+         "client", "obs"}
     ),
     "apps": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
-         "client"}
+         "client", "obs"}
     ),
     "experiments": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
-         "client", "apps", "baselines", "analysis"}
+         "client", "apps", "baselines", "analysis", "obs"}
     ),
     "chaos": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
-         "client", "experiments"}
+         "client", "experiments", "obs"}
     ),
     "tools": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
-         "client", "experiments"}
+         "client", "experiments", "obs"}
     ),
 }
 
@@ -68,7 +73,7 @@ class LayeringRule(Rule):
     id = "layering"
     summary = (
         "imports must follow the declared layer DAG "
-        "(naming -> nametree/message -> netsim -> resolver -> overlay "
+        "(naming/obs -> nametree/message -> netsim -> resolver -> overlay "
         "-> client -> apps/baselines -> experiments -> chaos/tools)"
     )
 

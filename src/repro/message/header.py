@@ -11,6 +11,12 @@ disallows caching).
 One deliberate widening versus the 32-bit figure: offsets are 32-bit
 here rather than 16, so large payloads (e.g. Camera images) fit without
 a second fragment format the paper does not describe.
+
+Extension (§9 of docs/PROTOCOL.md): a traced packet sets a flag bit and
+carries a 24-byte trace context — (trace_id, span_id, parent_span_id),
+Dapper-style — between the fixed header and the source name-specifier.
+Untraced packets are byte-identical to the pre-extension format, so
+tracing is zero-cost on the wire when off, and old frames still parse.
 """
 
 from __future__ import annotations
@@ -18,6 +24,9 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
+from typing import Optional
+
+from ..obs import TRACE_CONTEXT_SIZE, TraceContext
 
 #: Protocol version emitted by this implementation.
 INS_VERSION = 1
@@ -37,6 +46,9 @@ _FLAG_MULTICAST = 0x02
 #: willing to have it answered from an INR's packet cache. Responses
 #: use ``cache_lifetime`` instead to permit being stored.
 _FLAG_ACCEPT_CACHED = 0x04
+#: Extension flag (PROTOCOL.md §9): a 24-byte trace context follows the
+#: fixed header (before the source name-specifier).
+_FLAG_TRACE_CONTEXT = 0x08
 
 
 class Binding(enum.Enum):
@@ -70,9 +82,17 @@ class Header:
     hop_limit: int
     cache_lifetime: int
     accept_cached: bool = False
+    #: Optional per-request trace context (PROTOCOL.md §9). ``None``
+    #: packs to the exact pre-extension byte layout.
+    trace: Optional[TraceContext] = None
+
+    @property
+    def wire_length(self) -> int:
+        """Bytes this header occupies on the wire (fixed + trace)."""
+        return HEADER_SIZE + (TRACE_CONTEXT_SIZE if self.trace else 0)
 
     def pack(self) -> bytes:
-        """Serialize to the 20-byte wire header."""
+        """Serialize the header (and trace context, when present)."""
         flags = 0
         if self.binding is Binding.LATE:
             flags |= _FLAG_LATE_BINDING
@@ -80,7 +100,9 @@ class Header:
             flags |= _FLAG_MULTICAST
         if self.accept_cached:
             flags |= _FLAG_ACCEPT_CACHED
-        return _HEADER.pack(
+        if self.trace is not None:
+            flags |= _FLAG_TRACE_CONTEXT
+        fixed = _HEADER.pack(
             self.version,
             flags,
             0,
@@ -90,6 +112,9 @@ class Header:
             self.hop_limit,
             self.cache_lifetime,
         )
+        if self.trace is None:
+            return fixed
+        return fixed + self.trace.pack()
 
     @classmethod
     def unpack(cls, data: bytes) -> "Header":
@@ -110,13 +135,24 @@ class Header:
         ) = _HEADER.unpack_from(data)
         if version != INS_VERSION:
             raise HeaderError(f"unsupported INS version {version}")
+        trace = None
+        names_floor = HEADER_SIZE
+        if flags & _FLAG_TRACE_CONTEXT:
+            names_floor = HEADER_SIZE + TRACE_CONTEXT_SIZE
+            if len(data) < names_floor:
+                raise HeaderError(
+                    "trace flag set but packet too short for trace "
+                    f"context: {len(data)} < {names_floor}"
+                )
+            trace = TraceContext.unpack(data, HEADER_SIZE)
         if not (
-            HEADER_SIZE <= source_offset <= destination_offset <= data_offset <= len(data)
+            names_floor <= source_offset <= destination_offset <= data_offset <= len(data)
         ):
             raise HeaderError(
                 "header offsets out of order: "
                 f"{source_offset}, {destination_offset}, {data_offset} "
                 f"within packet of {len(data)} bytes"
+                + (" (with trace context)" if trace is not None else "")
             )
         return cls(
             version=version,
@@ -128,4 +164,5 @@ class Header:
             hop_limit=hop_limit,
             cache_lifetime=cache_lifetime,
             accept_cached=bool(flags & _FLAG_ACCEPT_CACHED),
+            trace=trace,
         )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..naming import NameSpecifier
+from ..obs import TRACE_CONTEXT_SIZE, TraceContext
 from .header import (
     DEFAULT_HOP_LIMIT,
     HEADER_SIZE,
@@ -45,6 +46,10 @@ class InsMessage:
     #: be answered from an INR packet cache; ``cache_lifetime`` > 0
     #: marks a response whose data INRs may store.
     accept_cached: bool = False
+    #: Tracing extension (PROTOCOL.md §9): the causal context this
+    #: message carries across hops. ``None`` keeps the wire layout
+    #: byte-identical to the untraced format.
+    trace: Optional[TraceContext] = None
 
     # ------------------------------------------------------------------
     # Wire format
@@ -53,7 +58,9 @@ class InsMessage:
         """Serialize to the Figure 10 packet layout."""
         source_bytes = self.source.to_wire().encode("utf-8")
         destination_bytes = self.destination.to_wire().encode("utf-8")
-        source_offset = HEADER_SIZE
+        source_offset = HEADER_SIZE + (
+            TRACE_CONTEXT_SIZE if self.trace is not None else 0
+        )
         destination_offset = source_offset + len(source_bytes)
         data_offset = destination_offset + len(destination_bytes)
         header = Header(
@@ -66,6 +73,7 @@ class InsMessage:
             hop_limit=self.hop_limit,
             cache_lifetime=self.cache_lifetime,
             accept_cached=self.accept_cached,
+            trace=self.trace,
         )
         return header.pack() + source_bytes + destination_bytes + self.data
 
@@ -90,12 +98,14 @@ class InsMessage:
             hop_limit=header.hop_limit,
             cache_lifetime=header.cache_lifetime,
             accept_cached=header.accept_cached,
+            trace=header.trace,
         )
 
     def wire_size(self) -> int:
         """Size in bytes of the encoded packet (for link accounting)."""
         return (
             HEADER_SIZE
+            + (TRACE_CONTEXT_SIZE if self.trace is not None else 0)
             + len(self.source.to_wire().encode("utf-8"))
             + len(self.destination.to_wire().encode("utf-8"))
             + len(self.data)

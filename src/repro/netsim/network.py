@@ -10,7 +10,7 @@ and demultiplexes messages to processes by port.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, Optional, Tuple, TYPE_CHECKING
 
 from .cpu import Cpu
@@ -29,6 +29,11 @@ class LinkStats:
     drops: int = 0
     duplicates: int = 0
     reorders: int = 0
+
+    def snapshot(self) -> dict:
+        """Every counter in declaration order — the uniform shape the
+        metrics registry ingests and artifacts embed."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class Link:

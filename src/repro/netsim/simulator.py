@@ -58,6 +58,10 @@ class Simulator:
         self._queue: List[Event] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        #: Optional profiling hook, called with each Event just before
+        #: it fires (``repro.obs`` installs one to count events per
+        #: callback). None costs a single comparison per event.
+        self.event_hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -89,6 +93,8 @@ class Simulator:
                 continue
             self.now = event.time
             self._events_processed += 1
+            if self.event_hook is not None:
+                self.event_hook(event)
             event.callback(*event.args)
             return True
         return False

@@ -16,13 +16,14 @@ update-overloaded delegates a virtual space to a freshly spawned INR.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..message import Binding, Delivery, InsMessage
 from ..naming import NameSpecifier
 from ..nametree import Endpoint, NameRecord, NameTree, Route
 from ..netsim import Node, Process
+from ..obs import DROP_PREFIX, STATUS_OK
 from ..message.dsr import (
     DsrClaimCandidate,
     DsrClaimResponse,
@@ -141,6 +142,17 @@ class InrStats:
         }
         return {cause: count for cause, count in causes.items() if count}
 
+    def snapshot(self) -> Dict[str, object]:
+        """Every counter in declaration order, plus the derived sum and
+        the per-cause drop breakdown — the uniform shape the metrics
+        registry ingests and artifacts embed."""
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        out["packets_dropped"] = self.packets_dropped
+        out["drops_by_cause"] = self.drops_by_cause()
+        return out
+
 
 @dataclass
 class _PendingPing:
@@ -183,6 +195,10 @@ class INR(Process):
         self.neighbors = NeighborTable()
         self.monitor = LoadMonitor()
         self.stats = InrStats()
+        #: Observability hook: a ``repro.obs.Tracer`` when the domain is
+        #: being observed, None otherwise. Every instrumentation site
+        #: guards on it so tracing costs nothing when off.
+        self.tracer = None
         self.cache = (
             PacketCache(self.config.packet_cache_size)
             if self.config.packet_cache_size > 0
@@ -286,6 +302,8 @@ class INR(Process):
         self.neighbors = NeighborTable()
         self.monitor = LoadMonitor()
         self.stats = InrStats()
+        # self.tracer survives a restart on purpose: the collector
+        # observing the run outlives any one process incarnation.
         self.cache = (
             PacketCache(self.config.packet_cache_size)
             if self.config.packet_cache_size > 0
@@ -373,6 +391,30 @@ class INR(Process):
         self.stats.lookup_memo_invalidations = invalidations
 
     # ------------------------------------------------------------------
+    # Tracing hooks (repro.obs)
+    # ------------------------------------------------------------------
+    def _span_start(self, name: str, context, **tags):
+        """Open a hop span joining ``context``'s trace.
+
+        Returns None (and costs one attribute test) when the domain is
+        untraced or the message carried no context — every span-taking
+        path below accepts that None.
+        """
+        if self.tracer is None or context is None:
+            return None
+        return self.tracer.start_span(
+            name, node=self.address, parent=context, tags=tags or None
+        )
+
+    def _span_end(self, span, status: str = STATUS_OK) -> None:
+        if span is not None:
+            self.tracer.end_span(span, status)
+
+    def _span_note(self, span, text: str) -> None:
+        if span is not None:
+            self.tracer.annotate(span, text)
+
+    # ------------------------------------------------------------------
     # Admission control (overload shedding)
     # ------------------------------------------------------------------
     def admit(self, payload: object, source: str) -> bool:
@@ -409,6 +451,7 @@ class INR(Process):
             return True
         if isinstance(payload, (ResolutionRequest, DiscoveryRequest)):
             self.stats.pushbacks_sent += 1
+            span = self._span_start("inr.pushback", payload.trace)
             self.send(
                 payload.reply_to,
                 payload.reply_port,
@@ -418,6 +461,7 @@ class INR(Process):
                     retry_after=min(backlog, config.admission_retry_after_max),
                 ),
             )
+            self._span_end(span, "pushback")
             return False
         return True
 
@@ -428,6 +472,15 @@ class INR(Process):
         if self._terminated:
             if isinstance(payload, DataPacket):
                 self.stats.drops_terminated += 1
+                if self.tracer is not None:
+                    try:
+                        context = payload.message.trace
+                    except ValueError:
+                        context = None
+                    self._span_end(
+                        self._span_start("inr.hop", context),
+                        DROP_PREFIX + "terminated",
+                    )
             return
         self.neighbors.heard_from(source, self.now)
         if isinstance(payload, ReliableFrame):
@@ -931,10 +984,12 @@ class INR(Process):
     # Early binding and discovery queries
     # ------------------------------------------------------------------
     def _handle_resolution(self, request: ResolutionRequest) -> None:
+        span = self._span_start("inr.resolve", request.trace)
         vspace = request.name.vspaces()[0]
         tree = self.trees.get(vspace)
         if tree is None:
-            self._forward_foreign_payload(vspace, request)
+            self._span_note(span, f"foreign vspace {vspace}")
+            self._forward_foreign_payload(vspace, request, span=span)
             return
         self.monitor.count_lookup()
         self.stats.lookups += 1
@@ -949,18 +1004,21 @@ class INR(Process):
             request.reply_port,
             ResolutionResponse(request_id=request.request_id, bindings=bindings),
         )
+        self._span_end(span)
         self._sync_memo_stats()
 
     def _handle_discovery(self, request: DiscoveryRequest) -> None:
         from ..naming import VSPACE_ATTRIBUTE
 
+        span = self._span_start("inr.discover", request.trace)
         if request.filter.root(VSPACE_ATTRIBUTE) is not None:
             # An explicit vspace constrains the search — and may need
             # forwarding to the resolver that routes it.
             vspace = request.filter.vspaces()[0]
             tree = self.trees.get(vspace)
             if tree is None:
-                self._forward_foreign_payload(vspace, request)
+                self._span_note(span, f"foreign vspace {vspace}")
+                self._forward_foreign_payload(vspace, request, span=span)
                 return
             searched = [tree]
         else:
@@ -982,6 +1040,7 @@ class INR(Process):
             request.reply_port,
             DiscoveryResponse(request_id=request.request_id, names=names),
         )
+        self._span_end(span)
         self._sync_memo_stats()
 
     # ------------------------------------------------------------------
@@ -993,30 +1052,37 @@ class INR(Process):
         except ValueError:
             # Malformed packet (bad header, unparsable names): a robust
             # resolver drops it rather than dying (design goal iii).
+            # No span either — an undecodable frame has no context.
             self.stats.drops_malformed += 1
             return
+        span = self._span_start("inr.hop", message.trace)
         vspace = message.destination.vspaces()[0]
         tree = self.trees.get(vspace)
         if tree is None:
             self.stats.packets_forwarded_foreign_vspace += 1
-            self._forward_foreign_payload(vspace, packet)
+            self._span_note(span, f"foreign vspace {vspace}")
+            self._forward_foreign_payload(vspace, packet, span=span)
             return
         self.monitor.count_lookup()
         self.stats.lookups += 1
         # Charge one LOOKUP-NAME per packet per INR, then route.
-        self._work(self.costs.lookup, lambda: self._route(tree, packet, source))
+        self._work(
+            self.costs.lookup, lambda: self._route(tree, packet, source, span)
+        )
 
-    def _route(self, tree: NameTree, packet: DataPacket, source: str) -> None:
+    def _route(
+        self, tree: NameTree, packet: DataPacket, source: str, span=None
+    ) -> None:
         message = packet.message
         if message.binding is Binding.EARLY:
             # The B bit-flag (Figure 10): the sender wants the
             # name-to-location bindings back, not payload forwarding.
-            self._answer_early_binding(tree, message)
+            self._answer_early_binding(tree, message, span)
             return
         if self.cache is not None and message.accept_cached:
             entry = self.cache.lookup(message.destination, self.now)
             if entry is not None:
-                self._answer_from_cache(message, entry)
+                self._answer_from_cache(message, entry, span)
                 return
         records = tree.lookup(message.destination)
         if self.cache is not None and message.wants_caching:
@@ -1026,6 +1092,7 @@ class INR(Process):
                 )
         if not records:
             self.stats.drops_no_route += 1
+            self._span_end(span, DROP_PREFIX + "no-route")
             return
         # lookup() returns a set; order the survivors deterministically
         # before any scheduling/emission decision observes hash order.
@@ -1038,15 +1105,20 @@ class INR(Process):
             # has not collected it yet; routing through it would target
             # a service presumed dead.
             self.stats.drops_expired_record += 1
+            self._span_end(span, DROP_PREFIX + "expired-record")
             return
         records = live
         if message.delivery is Delivery.ANYCAST:
-            self._route_anycast(tree, packet, records)
+            self._route_anycast(tree, packet, records, span)
         else:
-            self._route_multicast(tree, packet, records, arrived_from=source)
+            self._route_multicast(
+                tree, packet, records, arrived_from=source, span=span
+            )
         self._sync_memo_stats()
 
-    def _answer_early_binding(self, tree: NameTree, message: InsMessage) -> None:
+    def _answer_early_binding(
+        self, tree: NameTree, message: InsMessage, span=None
+    ) -> None:
         """Resolve the destination and send the [ip, [port, transport]]
         list (plus metrics) back to the requester's intentional name."""
         import json
@@ -1055,6 +1127,7 @@ class INR(Process):
             # Nowhere to send the answer: early binding over the data
             # path requires an addressable source name.
             self.stats.drops_malformed += 1
+            self._span_end(span, DROP_PREFIX + "malformed")
             return
         bindings = []
         for record in tree.lookup(message.destination):
@@ -1077,8 +1150,11 @@ class INR(Process):
         )
         self.stats.queries_served += 1
         self.handle_message(DataPacket(raw=reply.encode()), self.address)
+        self._span_end(span, "early-binding")
 
-    def _answer_from_cache(self, message: InsMessage, entry) -> None:
+    def _answer_from_cache(
+        self, message: InsMessage, entry, span=None
+    ) -> None:
         """Reply to a request directly from the packet cache."""
         self.stats.packets_answered_from_cache += 1
         reply = InsMessage(
@@ -1089,17 +1165,22 @@ class INR(Process):
             delivery=Delivery.ANYCAST,
         )
         self.handle_message(DataPacket(raw=reply.encode()), self.address)
+        self._span_end(span, "cache-hit")
 
     def _route_anycast(
-        self, tree: NameTree, packet: DataPacket, records: Sequence[NameRecord]
+        self,
+        tree: NameTree,
+        packet: DataPacket,
+        records: Sequence[NameRecord],
+        span=None,
     ) -> None:
         best = min(
             records, key=lambda r: (r.anycast_metric, r.route.metric, str(r.announcer))
         )
         if best.route.is_local:
-            self._deliver_local(tree, packet, best)
+            self._deliver_local(tree, packet, best, span)
         else:
-            self._forward_to_inr(packet, best.route.next_hop)
+            self._forward_to_inr(packet, best.route.next_hop, span)
 
     def _route_multicast(
         self,
@@ -1107,55 +1188,78 @@ class INR(Process):
         packet: DataPacket,
         records: Sequence[NameRecord],
         arrived_from: str,
+        span=None,
     ) -> None:
         # Reverse-path rule: never forward a copy back over the link the
         # packet arrived on. The overlay is a tree, so this suffices to
         # keep the per-name shortest-path forwarding loop-free.
+        # A multicast hop shares one span across its fan-out; the first
+        # branch outcome settles the status (end_span is idempotent) and
+        # the remaining branches land as annotations.
         next_hops: Set[str] = set()
         for record in records:
             if record.route.is_local:
-                self._deliver_local(tree, packet, record)
+                self._deliver_local(tree, packet, record, span)
             elif record.route.next_hop != arrived_from:
                 next_hops.add(record.route.next_hop)
         for next_hop in sorted(next_hops):
-            self._forward_to_inr(packet, next_hop)
+            self._span_note(span, f"multicast copy to {next_hop}")
+            self._forward_to_inr(packet, next_hop, span)
 
-    def _deliver_local(self, tree: NameTree, packet: DataPacket, record) -> None:
+    def _deliver_local(
+        self, tree: NameTree, packet: DataPacket, record, span=None
+    ) -> None:
         if not record.endpoints:
             self.stats.drops_no_endpoint += 1
+            self._span_end(span, DROP_PREFIX + "no-endpoint")
             return
         endpoint = record.endpoints[0]
         self.stats.packets_delivered_locally += 1
-        self._work(
-            self.costs.local_delivery(len(tree)),
-            lambda: self.send(endpoint.host, endpoint.port, packet),
-        )
 
-    def _forward_to_inr(self, packet: DataPacket, next_hop: str) -> None:
+        def deliver() -> None:
+            self.send(endpoint.host, endpoint.port, packet)
+            self._span_end(span, "delivered")
+
+        self._work(self.costs.local_delivery(len(tree)), deliver)
+
+    def _forward_to_inr(
+        self, packet: DataPacket, next_hop: str, span=None
+    ) -> None:
         message = packet.message
         if message.hop_limit <= 0:
             self.stats.drops_hop_limit += 1
+            self._span_end(span, DROP_PREFIX + "hop-limit")
             return
-        forwarded = DataPacket(raw=message.hop_decremented().encode())
+        outgoing = message.hop_decremented()
+        if span is not None:
+            # Re-parent the context so the next hop's span nests under
+            # this one: the exported tree then mirrors the actual path.
+            outgoing.trace = span.context
+        forwarded = DataPacket(raw=outgoing.encode())
         self.stats.packets_forwarded += 1
-        self._work(self.costs.forward, lambda: self.send(next_hop, INR_PORT, forwarded))
+
+        def forward() -> None:
+            self.send(next_hop, INR_PORT, forwarded)
+            self._span_end(span, "forwarded")
+
+        self._work(self.costs.forward, forward)
 
     # ------------------------------------------------------------------
     # Foreign virtual spaces (Section 2.5)
     # ------------------------------------------------------------------
-    def _forward_foreign_payload(self, vspace: str, payload: object) -> None:
+    def _forward_foreign_payload(
+        self, vspace: str, payload: object, span=None
+    ) -> None:
         resolver = self._vspace_cache.get(vspace)
         if resolver is not None:
-            self._work(
-                self.costs.vspace_forward,
-                lambda: self.send(resolver, INR_PORT, payload),
-            )
+            self._forward_foreign_to(resolver, payload, span)
             return
         if self.dsr_address is None:
             self.stats.drops_foreign_vspace += 1
+            self._span_end(span, DROP_PREFIX + "foreign-vspace")
             return
         waiting = self._vspace_waiting.setdefault(vspace, [])
-        waiting.append(payload)
+        waiting.append((payload, span))
         if len(waiting) == 1:
             self.send(
                 self.dsr_address,
@@ -1165,21 +1269,29 @@ class INR(Process):
                 ),
             )
 
+    def _forward_foreign_to(
+        self, resolver: str, payload: object, span=None
+    ) -> None:
+        def forward() -> None:
+            self.send(resolver, INR_PORT, payload)
+            self._span_end(span, "forwarded-foreign")
+
+        self._work(self.costs.vspace_forward, forward)
+
     def _handle_vspace_response(self, response: DsrVspaceResponse) -> None:
         self._tally_termination_vote(response)
         waiting = self._vspace_waiting.pop(response.vspace, [])
         if not response.resolvers:
             self.stats.drops_foreign_vspace += len(waiting)
+            for _payload, span in waiting:
+                self._span_end(span, DROP_PREFIX + "foreign-vspace")
             return
         resolver = response.resolvers[0]
         if len(self._vspace_cache) >= self.config.vspace_cache_size:
             self._vspace_cache.pop(next(iter(self._vspace_cache)))
         self._vspace_cache[response.vspace] = resolver
-        for payload in waiting:
-            self._work(
-                self.costs.vspace_forward,
-                lambda p=payload: self.send(resolver, INR_PORT, p),
-            )
+        for payload, span in waiting:
+            self._forward_foreign_to(resolver, payload, span)
 
     # ------------------------------------------------------------------
     # Load balancing (Section 2.5)

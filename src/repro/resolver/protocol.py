@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 from ..naming import NameSpecifier
 from ..nametree import AnnouncerID, Endpoint
+from ..obs import TRACE_CONTEXT_SIZE, TraceContext
 
 #: Fixed per-message overhead we charge for any control datagram
 #: (UDP/IP headers plus message framing).
@@ -95,9 +96,16 @@ class DiscoveryRequest:
     reply_to: str
     reply_port: int
     request_id: int = field(default_factory=_fresh_request_id)
+    #: Optional trace context (PROTOCOL.md §9), carried like the data
+    #: path's header extension so control-plane hops join the span tree.
+    trace: Optional[TraceContext] = None
 
     def wire_size(self) -> int:
-        return BASE_OVERHEAD + self.filter.wire_size()
+        return (
+            BASE_OVERHEAD
+            + self.filter.wire_size()
+            + (TRACE_CONTEXT_SIZE if self.trace is not None else 0)
+        )
 
 
 @dataclass
@@ -119,9 +127,15 @@ class ResolutionRequest:
     reply_to: str
     reply_port: int
     request_id: int = field(default_factory=_fresh_request_id)
+    #: Optional trace context (PROTOCOL.md §9); see DiscoveryRequest.
+    trace: Optional[TraceContext] = None
 
     def wire_size(self) -> int:
-        return BASE_OVERHEAD + self.name.wire_size()
+        return (
+            BASE_OVERHEAD
+            + self.name.wire_size()
+            + (TRACE_CONTEXT_SIZE if self.trace is not None else 0)
+        )
 
 
 @dataclass

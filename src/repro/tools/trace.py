@@ -14,6 +14,17 @@ from typing import Any, Callable, List, Optional
 from ..netsim import Network
 
 
+class TraceOverflow(RuntimeError):
+    """A query ran on a trace that overflowed its capacity.
+
+    Events past capacity are counted (``dropped``) but not stored, so
+    any aggregate over ``events`` is an undercount. Queries refuse to
+    answer rather than return silently-wrong numbers; pass
+    ``allow_dropped=True`` to accept the truncated view, or raise
+    ``capacity``.
+    """
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One datagram observed entering the delivery path."""
@@ -43,6 +54,9 @@ class ProtocolTrace:
 
     def __init__(self, keep_payloads: bool = False, capacity: int = 100_000) -> None:
         self.events: List[TraceEvent] = []
+        #: datagrams observed after ``events`` filled to capacity; any
+        #: nonzero value means the stored events are a truncated prefix.
+        self.dropped = 0
         self._keep_payloads = keep_payloads
         self._capacity = capacity
         self._network: Optional[Network] = None
@@ -70,6 +84,8 @@ class ProtocolTrace:
                         payload=payload if self._keep_payloads else None,
                     )
                 )
+            else:
+                self.dropped += 1
             self._original_send(source, destination, port, payload, size_bytes)
 
         network.send = traced_send  # type: ignore[method-assign]
@@ -90,30 +106,62 @@ class ProtocolTrace:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def of_kind(self, kind: str) -> List[TraceEvent]:
+    # Every aggregate refuses to answer over a truncated trace unless
+    # the caller opts in: a silently-capped count once hid a refresh
+    # storm by reporting exactly ``capacity`` events.
+    def _complete(self, allow_dropped: bool) -> None:
+        if self.dropped and not allow_dropped:
+            raise TraceOverflow(
+                f"trace overflowed: {self.dropped} event(s) beyond the "
+                f"capacity of {self._capacity} were not recorded; pass "
+                "allow_dropped=True for the truncated view or raise "
+                "capacity"
+            )
+
+    def of_kind(self, kind: str, allow_dropped: bool = False) -> List[TraceEvent]:
         """Events whose payload type name matches ``kind``."""
+        self._complete(allow_dropped)
         return [event for event in self.events if event.kind == kind]
 
-    def between(self, source: str, destination: str) -> List[TraceEvent]:
+    def between(
+        self, source: str, destination: str, allow_dropped: bool = False
+    ) -> List[TraceEvent]:
+        self._complete(allow_dropped)
         return [
             event
             for event in self.events
             if event.source == source and event.destination == destination
         ]
 
-    def since(self, time: float) -> List[TraceEvent]:
+    def since(self, time: float, allow_dropped: bool = False) -> List[TraceEvent]:
+        self._complete(allow_dropped)
         return [event for event in self.events if event.time >= time]
 
-    def count(self, kind: Optional[str] = None) -> int:
+    def count(self, kind: Optional[str] = None, allow_dropped: bool = False) -> int:
+        self._complete(allow_dropped)
         if kind is None:
             return len(self.events)
-        return len(self.of_kind(kind))
+        return len(self.of_kind(kind, allow_dropped=allow_dropped))
 
-    def total_bytes(self, kind: Optional[str] = None) -> int:
-        events = self.events if kind is None else self.of_kind(kind)
+    def total_bytes(
+        self, kind: Optional[str] = None, allow_dropped: bool = False
+    ) -> int:
+        self._complete(allow_dropped)
+        events = (
+            self.events
+            if kind is None
+            else self.of_kind(kind, allow_dropped=allow_dropped)
+        )
         return sum(event.size for event in events)
 
     def render(self, limit: int = 50) -> str:
-        """The last ``limit`` events, one per line."""
+        """The last ``limit`` stored events, one per line. Never raises:
+        a truncated trace renders with an explicit overflow note."""
         tail = self.events[-limit:]
-        return "\n".join(str(event) for event in tail)
+        lines = [str(event) for event in tail]
+        if self.dropped:
+            lines.append(
+                f"... trace overflowed: {self.dropped} further event(s) "
+                "not recorded ..."
+            )
+        return "\n".join(lines)

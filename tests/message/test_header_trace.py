@@ -1,0 +1,109 @@
+"""Tests for the trace-context header extension (PROTOCOL.md §9)."""
+
+import pytest
+
+from repro.message import (
+    Binding,
+    Delivery,
+    HEADER_SIZE,
+    Header,
+    HeaderError,
+    INS_VERSION,
+    InsMessage,
+)
+from repro.naming import NameSpecifier
+from repro.obs import NO_PARENT, TRACE_CONTEXT_SIZE, TraceContext
+
+CONTEXT = TraceContext(trace_id=7, span_id=42, parent_span_id=3)
+
+
+def make_header(**overrides) -> Header:
+    floor = HEADER_SIZE + (
+        TRACE_CONTEXT_SIZE if overrides.get("trace") is not None else 0
+    )
+    fields = dict(
+        version=INS_VERSION,
+        binding=Binding.LATE,
+        delivery=Delivery.ANYCAST,
+        source_offset=floor,
+        destination_offset=floor + 5,
+        data_offset=floor + 12,
+        hop_limit=32,
+        cache_lifetime=0,
+    )
+    fields.update(overrides)
+    return Header(**fields)
+
+
+class TestHeaderTraceRoundTrip:
+    def test_traced_header_is_exactly_24_bytes_longer(self):
+        bare = make_header()
+        traced = make_header(trace=CONTEXT)
+        assert len(traced.pack()) == len(bare.pack()) + TRACE_CONTEXT_SIZE
+        assert traced.wire_length == HEADER_SIZE + TRACE_CONTEXT_SIZE
+        assert bare.wire_length == HEADER_SIZE
+
+    def test_untraced_header_is_byte_identical_to_pre_extension_format(self):
+        # The flag byte must stay clear and nothing may follow the fixed
+        # header: old decoders keep working on untraced frames.
+        packed = make_header().pack()
+        assert len(packed) == HEADER_SIZE
+        assert packed[1] & 0x08 == 0
+
+    def test_round_trip_preserves_the_context(self):
+        header = make_header(trace=CONTEXT)
+        unpacked = Header.unpack(header.pack() + b"x" * 12)
+        assert unpacked == header
+        assert unpacked.trace == CONTEXT
+
+    def test_root_context_round_trips(self):
+        root = TraceContext(trace_id=1, span_id=1, parent_span_id=NO_PARENT)
+        unpacked = Header.unpack(make_header(trace=root).pack() + b"x" * 12)
+        assert unpacked.trace == root
+        assert unpacked.trace.parent_span_id == NO_PARENT
+
+
+class TestHeaderTraceValidation:
+    def test_flag_without_context_bytes_rejected(self):
+        packed = bytearray(make_header().pack())
+        packed[1] |= 0x08  # claim a trace context that is not there
+        with pytest.raises(HeaderError, match="trace"):
+            Header.unpack(bytes(packed))
+
+    def test_offsets_inside_trace_context_rejected(self):
+        # A traced frame whose source offset points into the trace bytes
+        # would let the names overlap the context.
+        header = make_header(trace=CONTEXT, source_offset=HEADER_SIZE)
+        with pytest.raises(HeaderError, match="offsets"):
+            Header.unpack(header.pack() + b"x" * 12)
+
+
+class TestMessageTraceRoundTrip:
+    def _message(self, trace=None) -> InsMessage:
+        return InsMessage(
+            destination=NameSpecifier.parse("[service=camera[id=1]]"),
+            source=NameSpecifier.parse("[service=viewer]"),
+            data=b"payload",
+            trace=trace,
+        )
+
+    def test_untraced_encoding_unchanged(self):
+        assert self._message().encode() == self._message().encode()
+        assert self._message(trace=None).wire_size() + TRACE_CONTEXT_SIZE == \
+            self._message(trace=CONTEXT).wire_size()
+
+    def test_traced_message_round_trips(self):
+        decoded = InsMessage.decode(self._message(trace=CONTEXT).encode())
+        assert decoded.trace == CONTEXT
+        assert decoded.data == b"payload"
+
+    def test_wire_size_matches_encoding(self):
+        for trace in (None, CONTEXT):
+            message = self._message(trace=trace)
+            assert message.wire_size() == len(message.encode())
+
+    def test_reply_template_does_not_inherit_the_trace(self):
+        # Replies open their own spans; inheriting the request context
+        # verbatim would fake a second span with the same id.
+        decoded = InsMessage.decode(self._message(trace=CONTEXT).encode())
+        assert decoded.reply_template().trace is None

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments import InsDomain
-from repro.tools import ProtocolTrace
+from repro.tools import ProtocolTrace, TraceOverflow
 
 from ..conftest import parse
 
@@ -82,3 +82,49 @@ class TestTracing:
         domain.add_inr()
         domain.run(5.0)
         assert len(trace.events) == 3
+
+
+class TestOverflow:
+    """Past capacity the trace counts what it lost and refuses to lie."""
+
+    @pytest.fixture
+    def overflowed(self):
+        domain = InsDomain(seed=315)
+        trace = ProtocolTrace(capacity=3).attach(domain.network)
+        domain.add_inr()
+        domain.run(5.0)
+        assert trace.dropped > 0
+        return trace
+
+    def test_dropped_counts_the_overflow(self, overflowed):
+        assert len(overflowed.events) == 3
+        assert overflowed.dropped > 0
+
+    def test_queries_raise_on_truncated_trace(self, overflowed):
+        with pytest.raises(TraceOverflow):
+            overflowed.count()
+        with pytest.raises(TraceOverflow):
+            overflowed.of_kind("DataPacket")
+        with pytest.raises(TraceOverflow):
+            overflowed.between("a", "b")
+        with pytest.raises(TraceOverflow):
+            overflowed.since(0.0)
+        with pytest.raises(TraceOverflow):
+            overflowed.total_bytes()
+
+    def test_allow_dropped_opts_into_truncated_view(self, overflowed):
+        assert overflowed.count(allow_dropped=True) == 3
+        assert overflowed.total_bytes(allow_dropped=True) > 0
+
+    def test_render_never_raises_and_notes_the_loss(self, overflowed):
+        text = overflowed.render()
+        assert "overflowed" in text
+        assert str(overflowed.dropped) in text
+
+    def test_no_overflow_means_no_raise(self):
+        domain = InsDomain(seed=316)
+        trace = ProtocolTrace().attach(domain.network)
+        domain.add_inr()
+        assert trace.dropped == 0
+        assert trace.count() > 0
+        assert "overflowed" not in trace.render()
