@@ -19,6 +19,13 @@ from .availability import (
     run_availability_scenario,
     write_bench_availability_json,
 )
+from .dtn import (
+    DtnReport,
+    dtn_chaos_config,
+    run_dtn_scenario,
+    run_dtn_sweep,
+    write_bench_dtn_json,
+)
 from .invariants import InvariantChecker, Violation
 from .plan import FAULT_KINDS, ChaosController, FaultEvent, FaultPlan
 from .recovery import RecoveryRecord, RecoveryTracker, percentile
@@ -35,6 +42,7 @@ __all__ = [
     "AvailabilityReport",
     "ChaosController",
     "ChaosReport",
+    "DtnReport",
     "FaultEvent",
     "FaultPlan",
     "InvariantChecker",
@@ -42,10 +50,14 @@ __all__ = [
     "RecoveryRecord",
     "RecoveryTracker",
     "Violation",
+    "dtn_chaos_config",
     "fast_chaos_config",
     "percentile",
     "run_availability_scenario",
     "run_chaos_scenario",
+    "run_dtn_scenario",
+    "run_dtn_sweep",
     "run_recovery_ablation",
     "write_bench_availability_json",
+    "write_bench_dtn_json",
 ]

@@ -1,0 +1,386 @@
+"""Disruption tolerance under chaos: custody transfer on vs off.
+
+The availability scenario (:mod:`.availability`) measures what request
+traffic experiences when faults are short next to the request deadline
+— retries and failover can ride them out. This module measures the
+regime the resilience layer cannot help with: duty-cycled links and
+partitions that outlast any reasonable deadline. Late-binding anycast
+payloads sent into a partition are simply gone unless *something*
+holds them; the custody store (:mod:`repro.dtn`) is that something,
+and this scenario quantifies exactly what it buys.
+
+One client streams intentional anycast payloads at a service whose
+resolver first suffers duty-cycled overlay links (intermittent
+connectivity) and then a long partition, all from a seed-deterministic
+:class:`FaultPlan`. Each payload carries its sequence number and
+virtual send time, so the receiving service measures end-to-end
+delivery ratio and latency — including payloads that waited out the
+partition in custody. Running the identical plan with custody enabled
+and disabled is a controlled ablation of the DTN machinery alone.
+
+:func:`run_dtn_sweep` sweeps disruption lengths and
+:func:`write_bench_dtn_json` emits ``BENCH_dtn.json`` for trend
+tracking across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.domain import DSR_HOST, InsDomain
+from ..naming import NameSpecifier
+from ..obs import merge_counts
+from ..resolver import InrConfig
+from .invariants import InvariantChecker
+from .plan import ChaosController, FaultEvent, FaultPlan
+from .scenario import fast_chaos_config
+
+
+@dataclass
+class DtnReport:
+    """What one disruption run delivered, end to end."""
+
+    seed: int
+    custody: bool
+    disruption: float
+    messages_sent: int
+    #: unique payloads that reached the service (dedup by sequence)
+    messages_delivered: int
+    delivery_ratio: float
+    #: end-to-end virtual seconds, send to first delivery; payloads
+    #: that waited out the partition in custody dominate the tail
+    latency_p50: float
+    latency_p99: float
+    latency_max: float
+    #: aggregated resolver custody counters
+    custody_accepted: int
+    custody_released: int
+    custody_transfers_sent: int
+    custody_transfers_received: int
+    expiry_grace_readmissions: int
+    drops_custody_expired: int
+    drops_custody_evicted: int
+    drops_custody_transfer_failed: int
+    #: the paper's drop behavior — what custody exists to avoid
+    drops_no_route: int
+    drops_expired_record: int
+    #: post-heal convergence invariants (must be empty; includes the
+    #: custody-drained invariant when custody is on)
+    converged_violations: Tuple[str, ...]
+    faults_applied: int
+    fault_kinds: Tuple[str, ...]
+    sim_time: float
+
+    def fingerprint(self) -> Tuple:
+        """Deterministic digest: same seed + parameters ⇒ identical."""
+        return (
+            self.seed,
+            self.custody,
+            round(self.disruption, 6),
+            self.messages_sent,
+            self.messages_delivered,
+            round(self.delivery_ratio, 6),
+            round(self.latency_p50, 6),
+            round(self.latency_p99, 6),
+            round(self.latency_max, 6),
+            self.custody_accepted,
+            self.custody_released,
+            self.custody_transfers_sent,
+            self.custody_transfers_received,
+            self.expiry_grace_readmissions,
+            self.drops_custody_expired,
+            self.drops_custody_evicted,
+            self.drops_custody_transfer_failed,
+            self.drops_no_route,
+            self.drops_expired_record,
+            self.converged_violations,
+            self.faults_applied,
+            self.fault_kinds,
+            round(self.sim_time, 6),
+        )
+
+
+def dtn_chaos_config(disruption: float, custody: bool) -> InrConfig:
+    """The fast chaos clocks plus the DTN knobs for one run.
+
+    The custody TTL must outlast the partition plus reconvergence or
+    payloads lapse moments before they could have been delivered; the
+    grace window spans two record lifetimes so the partitioned
+    service's first post-heal refresh is a fast-path readmission.
+    """
+    config = fast_chaos_config()
+    if not custody:
+        return config
+    return replace(
+        config,
+        enable_custody=True,
+        custody_capacity=256,
+        custody_ttl=disruption + 20.0,
+        custody_retry_interval=0.5,
+        custody_suspect_silence=2.5,
+        partition_grace=2.0 * config.record_lifetime,
+    )
+
+
+def run_dtn_scenario(
+    seed: int = 0,
+    custody: bool = True,
+    disruption: float = 30.0,
+    n_inrs: int = 3,
+    send_interval: float = 0.5,
+    duty_window: float = 12.0,
+    duty_period: float = 6.0,
+    duty: float = 0.5,
+    settle: float = 3.0,
+    tail: float = 3.0,
+    config: Optional[InrConfig] = None,
+    observe: bool = False,
+) -> DtnReport:
+    """Stream anycast payloads through duty-cycled links and one long
+    partition; measure what arrived.
+
+    The fault plan is identical for both settings of ``custody`` (same
+    seed, same surface): first every link incident to the service's
+    resolver duty-cycles for ``duty_window`` seconds (radio-style
+    intermittent connectivity), then that resolver and its service are
+    partitioned from the rest of the mesh — and the DSR — for
+    ``disruption`` seconds. Traffic runs from the start until ``tail``
+    seconds after the heal; the run then drains for the invariant
+    checker's convergence bound so every custodied payload has settled
+    (released or lapsed) before the post-heal invariants are checked.
+
+    ``observe=True`` attaches a :class:`repro.obs.ObsCollector` before
+    any traffic flows; it rides on the returned report as
+    ``report.collector`` (a plain attribute — not part of the
+    dataclass, the fingerprint, or the JSON artifact).
+    """
+    config = config or dtn_chaos_config(disruption, custody)
+
+    domain = InsDomain(
+        seed=seed,
+        config=config,
+        dsr_registration_lifetime=3.0 * config.heartbeat_interval,
+        dsr_sweep_interval=max(0.5, config.heartbeat_interval / 2.0),
+    )
+    collector = domain.observe() if observe else None
+    inrs = [domain.add_inr() for _ in range(n_inrs)]
+    far = inrs[-1]
+    name = NameSpecifier.parse("[service=dtn[role=sink]]")
+    service = domain.add_service(
+        name,
+        resolver=far,
+        refresh_interval=config.refresh_interval,
+        lifetime=config.record_lifetime,
+    )
+    client = domain.add_client(resolver=inrs[0])
+    domain.run(settle)
+
+    # ------------------------------------------------------------------
+    # The receiving side: dedup by sequence, latency from the virtual
+    # send time each payload carries.
+    # ------------------------------------------------------------------
+    delivered: Dict[int, float] = {}
+
+    def on_message(message, _source) -> None:
+        sequence_text, _, sent_text = message.data.decode().partition(":")
+        sequence = int(sequence_text)
+        if sequence not in delivered:
+            delivered[sequence] = domain.sim.now - float(sent_text)
+
+    service.on_message(on_message)
+
+    # ------------------------------------------------------------------
+    # Fault plan: duty-cycled links incident to the far resolver, then
+    # a long partition cutting it (and its service) off from the rest
+    # of the mesh and the DSR. Duty cycles end before the partition
+    # starts so a scheduled link-up never re-opens a cut link.
+    # ------------------------------------------------------------------
+    far_links = sorted(
+        tuple(sorted((far.address, neighbor)))
+        for neighbor in far.neighbors.addresses
+    )
+    duty_start = 1.0
+    partition_at = duty_start + duty_window + 2.0
+    heal_at = partition_at + disruption
+    isolated = (far.address, service.address)
+    others = tuple(
+        sorted(
+            [inr.address for inr in inrs if inr is not far]
+            + [client.address, DSR_HOST]
+        )
+    )
+    duty_plan = FaultPlan.duty_cycle(
+        seed=seed,
+        link_pairs=far_links,
+        start=duty_start,
+        end=duty_start + duty_window,
+        period=duty_period,
+        duty=duty,
+    )
+    plan = FaultPlan(
+        events=FaultPlan.build(
+            list(duty_plan.events)
+            + [
+                FaultEvent(at=partition_at, kind="partition", target=(isolated, others)),
+                FaultEvent(at=heal_at, kind="heal", target=(isolated, others)),
+            ]
+        ).events,
+        duration=heal_at + tail,
+    )
+    controller = ChaosController(domain)
+    controller.execute(plan)
+
+    # ------------------------------------------------------------------
+    # Steady anycast traffic, scheduled up front (deterministic).
+    # ------------------------------------------------------------------
+    sent = 0
+
+    def send(sequence: int) -> None:
+        client.send_anycast(
+            name, data=f"{sequence}:{domain.sim.now:.6f}".encode()
+        )
+
+    start = domain.sim.now
+    traffic_end = heal_at + tail
+    t = 0.0
+    while t < traffic_end:
+        domain.sim.at(start + t, send, sent)
+        sent += 1
+        t += send_interval
+
+    domain.run(traffic_end)
+
+    # Drain: every custodied payload must settle — released once the
+    # healed mesh re-learns the name, or lapsed by its TTL — before the
+    # post-heal convergence invariants are checked.
+    checker = InvariantChecker(domain)
+    domain.run(checker.convergence_bound())
+    converged = checker.check_converged()
+
+    inr_totals = merge_counts(inr.stats.snapshot() for inr in domain.inrs)
+    latencies = sorted(delivered.values())
+
+    def latency_at(fraction: float) -> float:
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(fraction * (len(latencies) - 1)))
+        return latencies[index]
+
+    report = DtnReport(
+        seed=seed,
+        custody=custody,
+        disruption=disruption,
+        messages_sent=sent,
+        messages_delivered=len(delivered),
+        delivery_ratio=len(delivered) / sent if sent else 0.0,
+        latency_p50=latency_at(0.50),
+        latency_p99=latency_at(0.99),
+        latency_max=latencies[-1] if latencies else 0.0,
+        custody_accepted=int(inr_totals.get("custody_accepted", 0)),
+        custody_released=int(inr_totals.get("custody_released", 0)),
+        custody_transfers_sent=int(inr_totals.get("custody_transfers_sent", 0)),
+        custody_transfers_received=int(
+            inr_totals.get("custody_transfers_received", 0)
+        ),
+        expiry_grace_readmissions=int(
+            inr_totals.get("expiry_grace_readmissions", 0)
+        ),
+        drops_custody_expired=int(inr_totals.get("drops_custody_expired", 0)),
+        drops_custody_evicted=int(inr_totals.get("drops_custody_evicted", 0)),
+        drops_custody_transfer_failed=int(
+            inr_totals.get("drops_custody_transfer_failed", 0)
+        ),
+        drops_no_route=int(inr_totals.get("drops_no_route", 0)),
+        drops_expired_record=int(inr_totals.get("drops_expired_record", 0)),
+        converged_violations=tuple(
+            violation.invariant for violation in converged
+        ),
+        faults_applied=len(controller.applied),
+        fault_kinds=plan.kinds,
+        sim_time=domain.now,
+    )
+    if collector is not None:
+        domain.harvest()
+        report.collector = collector
+    return report
+
+
+def run_dtn_sweep(
+    seed: int = 0,
+    disruptions: Sequence[float] = (10.0, 30.0, 60.0),
+    observe_first: bool = False,
+    **kwargs,
+) -> List[Dict[str, DtnReport]]:
+    """Delivery ratio and latency vs disruption length, custody on vs
+    off — the controlled ablation ``BENCH_dtn.json`` records.
+
+    ``observe_first`` traces the custody-on run of the first disruption
+    length (one observed run keeps the sweep cheap while still
+    producing span artifacts for the CI job to upload).
+    """
+    rows: List[Dict[str, DtnReport]] = []
+    for index, disruption in enumerate(disruptions):
+        observed = observe_first and index == 0
+        rows.append(
+            {
+                "disruption": disruption,
+                "custody_on": run_dtn_scenario(
+                    seed=seed,
+                    custody=True,
+                    disruption=disruption,
+                    observe=observed,
+                    **kwargs,
+                ),
+                "custody_off": run_dtn_scenario(
+                    seed=seed, custody=False, disruption=disruption, **kwargs
+                ),
+            }
+        )
+    return rows
+
+
+def write_bench_dtn_json(
+    path: Union[str, Path], rows: Sequence[Dict[str, object]]
+) -> dict:
+    """Emit ``BENCH_dtn.json``: delivery ratio and latency vs
+    disruption length, custody on vs off. Returns the payload.
+
+    A custody-on report carrying a collector (an ``observe=True`` run)
+    contributes an ``observability`` section keyed by its disruption
+    length — drop attribution and per-hop percentiles for the traced
+    run.
+    """
+    payload_rows = []
+    observability = {}
+    for row in rows:
+        on: DtnReport = row["custody_on"]
+        off: DtnReport = row["custody_off"]
+        payload_rows.append(
+            {
+                "disruption": row["disruption"],
+                "custody_on": asdict(on),
+                "custody_off": asdict(off),
+                "delivery_ratio_delta": round(
+                    on.delivery_ratio - off.delivery_ratio, 6
+                ),
+            }
+        )
+        collector = getattr(on, "collector", None)
+        if collector is not None:
+            observability[str(row["disruption"])] = (
+                collector.observability_payload()
+            )
+    payload = {
+        "benchmark": "dtn-chaos",
+        "schema_version": 1,
+        "rows": payload_rows,
+    }
+    if observability:
+        payload["observability"] = observability
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

@@ -98,7 +98,11 @@ class InvariantChecker:
     def check_converged(self) -> List[Violation]:
         """Invariants that must hold after faults heal and soft state
         has had :meth:`convergence_bound` seconds to cycle."""
-        return self.overlay_is_single_tree() + self.names_consistent()
+        return (
+            self.overlay_is_single_tree()
+            + self.names_consistent()
+            + self.custody_drained()
+        )
 
     def convergence_bound(self) -> float:
         """An upper bound (virtual seconds) on reconvergence after the
@@ -117,6 +121,12 @@ class InvariantChecker:
             config.neighbor_timeout,
             self.domain.dsr.registration_lifetime,
         ) + config.expiry_sweep_interval
+        if config.enable_custody:
+            # A held payload is settled no later than its TTL plus one
+            # retry tick: released if a route returned, lapsed if not.
+            expiry = max(
+                expiry, config.custody_ttl + config.custody_retry_interval
+            )
         propagation = config.refresh_interval * (depth + 1)
         return expiry + propagation + 5.0
 
@@ -258,6 +268,38 @@ class InvariantChecker:
                         "candidate and active",
                     )
                 )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Custody (disruption tolerance)
+    # ------------------------------------------------------------------
+    def custody_drained(self) -> List[Violation]:
+        """After heal plus the convergence bound, no payload may still
+        sit in custody: every held payload must have been released (a
+        route returned and it moved on) or lapsed by its TTL and
+        attributed as a drop. A payload parked forever is a custody
+        retry bug, not disruption tolerance. Vacuously holds when
+        custody is disabled (no resolver owns a store).
+        """
+        violations = []
+        for inr in sorted(self._live_inrs(), key=lambda i: i.address):
+            store = getattr(inr, "custody", None)
+            if store is None or not len(store):
+                continue
+            held = [
+                f"{entry.vspace}:{entry.cause}" for entry in store.entries()
+            ]
+            violations.append(
+                Violation(
+                    time=self.domain.sim.now,
+                    invariant="custody-drained",
+                    detail=(
+                        f"{inr.address} still holds {len(held)} custodied "
+                        f"payload(s) ({', '.join(held[:4])}) after the "
+                        "convergence bound"
+                    ),
+                )
+            )
         return violations
 
     # ------------------------------------------------------------------

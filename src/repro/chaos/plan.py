@@ -196,6 +196,51 @@ class FaultPlan:
         plan = cls.build(events)
         return cls(events=plan.events, duration=duration)
 
+    @classmethod
+    def duty_cycle(
+        cls,
+        seed: int,
+        link_pairs: Sequence[Tuple[str, str]],
+        start: float,
+        end: float,
+        period: float = 10.0,
+        duty: float = 0.5,
+        phase_jitter: float = 0.3,
+    ) -> "FaultPlan":
+        """Duty-cycled links: the disruption-tolerance workload.
+
+        Every link in ``link_pairs`` repeats an up-for-``duty``,
+        down-for-the-rest cycle of ``period`` seconds between ``start``
+        and ``end`` — the intermittent-connectivity regime (power-cycled
+        radios, mobile nodes drifting in and out of range) that custody
+        transfer is built for. Each link gets a seed-deterministic phase
+        offset of up to ``phase_jitter`` periods so cycles do not
+        phase-lock across links. Cycles only begin where the full
+        period fits before ``end``, so the last event for every link is
+        its ``link-up`` — a plan never strands a link down.
+        """
+        if not 0.0 < duty < 1.0:
+            raise ValueError(f"duty must be in (0, 1), got {duty}")
+        if period <= 0 or end <= start:
+            raise ValueError("need a positive period and end > start")
+        rng = random.Random(seed)
+        links = sorted(tuple(sorted(pair)) for pair in link_pairs)
+        events: List[FaultEvent] = []
+        for pair in links:
+            t = start + rng.uniform(0.0, period * phase_jitter)
+            while t + period <= end:
+                events.append(
+                    FaultEvent(
+                        at=t + period * duty, kind="link-down", target=pair
+                    )
+                )
+                events.append(
+                    FaultEvent(at=t + period, kind="link-up", target=pair)
+                )
+                t += period
+        plan = cls.build(events)
+        return cls(events=plan.events, duration=end)
+
 
 class ChaosController:
     """Executes a :class:`FaultPlan` against one :class:`InsDomain`."""

@@ -41,6 +41,13 @@ DEFAULT_PROFILES: Dict[str, Profile] = {
         name="obs",
         rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
     ),
+    # Custody deadlines are absolute virtual times compared across
+    # crashes and handoffs; a wall-clock read here would silently break
+    # same-seed determinism, so the ban is pinned like obs's.
+    "src/repro/dtn": Profile(
+        name="dtn",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
+    ),
     "examples": Profile(name="examples"),
     # Tests exercise internals across layers (the layering DAG governs
     # the package, not its tests) and deliberately assert *exact*

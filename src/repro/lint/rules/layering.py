@@ -37,7 +37,12 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "obs": frozenset(),
     "nametree": frozenset({"naming"}),
     "message": frozenset({"naming", "obs"}),
-    "resolver": frozenset({"naming", "nametree", "message", "netsim", "obs"}),
+    #: Disruption tolerance: the custody store sits beside nametree so
+    #: the resolver can embed one; its wire form lives in message.
+    "dtn": frozenset({"naming", "message", "obs"}),
+    "resolver": frozenset(
+        {"naming", "nametree", "message", "netsim", "dtn", "obs"}
+    ),
     "overlay": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "obs"}
     ),
@@ -59,7 +64,7 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     ),
     "chaos": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
-         "client", "experiments", "obs"}
+         "client", "experiments", "dtn", "obs"}
     ),
     "tools": frozenset(
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
@@ -73,8 +78,9 @@ class LayeringRule(Rule):
     id = "layering"
     summary = (
         "imports must follow the declared layer DAG "
-        "(naming/obs -> nametree/message -> netsim -> resolver -> overlay "
-        "-> client -> apps/baselines -> experiments -> chaos/tools)"
+        "(naming/obs -> nametree/message/dtn -> netsim -> resolver "
+        "-> overlay -> client -> apps/baselines -> experiments "
+        "-> chaos/tools)"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -1,5 +1,7 @@
-"""The INS packet format (Section 4, Figure 10) and DSR wire messages."""
+"""The INS packet format (Section 4, Figure 10), DSR wire messages and
+the custody-transfer handoff."""
 
+from .custody import CustodyRecord, CustodyTransfer
 from .dsr import (
     DsrClaimCandidate,
     DsrClaimResponse,
@@ -26,6 +28,8 @@ from .packet import InsMessage
 
 __all__ = [
     "Binding",
+    "CustodyRecord",
+    "CustodyTransfer",
     "DEFAULT_HOP_LIMIT",
     "Delivery",
     "DsrClaimCandidate",

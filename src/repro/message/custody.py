@@ -1,0 +1,68 @@
+"""CUSTODY-TRANSFER: migrating held payloads between resolvers.
+
+Wire definitions for custody handoff (PROTOCOL.md §10). A resolver
+that leaves the overlay deliberately — load-balancing self-termination,
+an operator shutdown — must not take the payloads it holds custody of
+down with it; it packages its custody store into one CUSTODY-TRANSFER
+and hands it to a surviving neighbor. Like the DSR messages, these are
+wire-layer types: both the resolver and the chaos harness speak them,
+so they live in ``message`` below both.
+
+Each transferred record carries the full encoded INS packet plus the
+custody metadata the receiver needs to re-admit it faithfully: the
+*absolute* expiry deadline (a handoff must not reset the payload's TTL
+clock), the priority tier, and the custody hop count. The receiver
+re-runs normal admission, so its own capacity policy — not the
+sender's — decides what survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+BASE_OVERHEAD = 28
+
+#: Metadata bytes per transferred record beyond the raw packet itself:
+#: deadline (8), priority (2), transfers (2) and vspace-length framing.
+PER_RECORD_OVERHEAD = 16
+
+
+@dataclass(frozen=True)
+class CustodyRecord:
+    """One payload on the wire inside a CUSTODY-TRANSFER.
+
+    ``raw`` is the encoded INS packet exactly as the sender held it
+    (names, data, any trace context); ``deadline`` is the absolute
+    virtual time at which custody lapses, carried unchanged across any
+    number of handoffs.
+    """
+
+    raw: bytes
+    vspace: str
+    deadline: float
+    priority: int
+    transfers: int
+
+    def wire_size(self) -> int:
+        return PER_RECORD_OVERHEAD + len(self.vspace) + len(self.raw)
+
+
+@dataclass
+class CustodyTransfer:
+    """A batch of payloads changing custodian (PROTOCOL.md §10).
+
+    Sent over the inter-INR control transport — the reliable channel
+    when the domain runs reliable-delta updates, a raw datagram
+    otherwise. Handoff at termination is inherently best-effort: the
+    sender is about to stop and cannot retransmit past its own death.
+    """
+
+    sender: str
+    records: Tuple[CustodyRecord, ...]
+
+    def wire_size(self) -> int:
+        return BASE_OVERHEAD + sum(record.wire_size() for record in self.records)
+
+
+__all__ = ["CustodyRecord", "CustodyTransfer", "PER_RECORD_OVERHEAD"]

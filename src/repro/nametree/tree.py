@@ -217,12 +217,20 @@ class NameTree:
     # ------------------------------------------------------------------
     # Soft state
     # ------------------------------------------------------------------
-    def expire(self, now: float) -> List[NameRecord]:
-        """Remove every record whose lifetime elapsed; returns them."""
+    def expire(self, now: float, grace: float = 0.0) -> List[NameRecord]:
+        """Remove every record whose lifetime elapsed; returns them.
+
+        ``grace`` retains an expired record for that many extra seconds
+        before collection. A graced record is a tombstone with memory:
+        it never satisfies routing or queries (``is_expired`` still
+        holds), but a refresh arriving inside the window re-admits the
+        name as a fast-path update instead of a from-scratch rebuild —
+        the partition-tolerant soft-state behavior.
+        """
         expired = [
             record
             for record in self._by_announcer.values()
-            if record.is_expired(now)
+            if now - grace >= record.expires_at
         ]
         for record in expired:
             self.remove(record)

@@ -102,6 +102,37 @@ class InrConfig:
     #: Cap on the retry-after hint carried by a Pushback.
     admission_retry_after_max: float = 3.0
 
+    #: --- Disruption tolerance (custody store-and-forward) ------------
+    #: When enabled, a payload the forwarding agent cannot move — no
+    #: matching record, every match expired, or a silent next hop — is
+    #: parked in a bounded custody store and re-attempted when name
+    #: state returns, instead of being dropped. Defaults off: dropping
+    #: is the paper's behavior and what the figure experiments measure.
+    enable_custody: bool = False
+
+    #: Maximum payloads held in custody at once (FIFO-within-priority
+    #: eviction past this bound).
+    custody_capacity: int = 64
+
+    #: Seconds a payload may wait in custody before it lapses.
+    custody_ttl: float = 30.0
+
+    #: How often held payloads are re-attempted and expired. Triggered
+    #: name updates retry immediately; this timer is the backstop that
+    #: catches link heals no update announces.
+    custody_retry_interval: float = 1.0
+
+    #: A next hop silent for longer than this is treated as unreachable
+    #: at forward time, diverting the payload into custody rather than
+    #: onto a dead link. 0 disables the check (forward regardless).
+    custody_suspect_silence: float = 0.0
+
+    #: Extra seconds an expired record is retained (unused for routing)
+    #: so a partitioned service's immediate re-advertisement on heal is
+    #: a fast-path refresh instead of a rebuild from nothing. 0 keeps
+    #: the paper's discard-at-expiry behavior.
+    partition_grace: float = 0.0
+
     #: --- Inter-INR update transport (footnote 3) ---------------------
     #: "soft-state": the paper's shipped design — periodic re-floods of
     #: every name plus triggered updates, names expire by lifetime.

@@ -19,7 +19,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..message import Binding, Delivery, InsMessage
+from ..dtn import (
+    PRIORITY_KNOWN_NAME,
+    PRIORITY_UNKNOWN_NAME,
+    CustodyEntry,
+    CustodyStore,
+)
+from ..message import (
+    Binding,
+    CustodyRecord,
+    CustodyTransfer,
+    Delivery,
+    InsMessage,
+)
 from ..naming import NameSpecifier
 from ..nametree import Endpoint, NameRecord, NameTree, Route
 from ..netsim import Node, Process
@@ -116,6 +128,26 @@ class InrStats:
     #: client requests answered with an explicit Pushback
     pushbacks_sent: int = 0
 
+    #: --- Disruption tolerance (custody store-and-forward) ------------
+    #: payloads taken into custody instead of being dropped
+    custody_accepted: int = 0
+    #: payloads released back into forwarding when a route returned
+    custody_released: int = 0
+    #: CUSTODY-TRANSFER handoffs sent (terminating-INR migration)
+    custody_transfers_sent: int = 0
+    #: CUSTODY-TRANSFER handoffs received
+    custody_transfers_received: int = 0
+    #: expired records re-admitted by a refresh inside the partition
+    #: grace window (the soft-state fast path after a heal)
+    expiry_grace_readmissions: int = 0
+    #: custody lapsed: the payload's TTL deadline passed unresolved
+    drops_custody_expired: int = 0
+    #: custody pushed out by capacity pressure or refused at the door
+    drops_custody_evicted: int = 0
+    #: custody handoff with no surviving recipient, or the payloads
+    #: arrived at a resolver that runs no custody store
+    drops_custody_transfer_failed: int = 0
+
     @property
     def packets_dropped(self) -> int:
         """Total packets dropped, across every cause."""
@@ -127,6 +159,9 @@ class InrStats:
             + self.drops_malformed
             + self.drops_no_endpoint
             + self.drops_hop_limit
+            + self.drops_custody_expired
+            + self.drops_custody_evicted
+            + self.drops_custody_transfer_failed
         )
 
     def drops_by_cause(self) -> Dict[str, int]:
@@ -139,6 +174,9 @@ class InrStats:
             "malformed": self.drops_malformed,
             "no-endpoint": self.drops_no_endpoint,
             "hop-limit": self.drops_hop_limit,
+            "custody-expired": self.drops_custody_expired,
+            "custody-evicted": self.drops_custody_evicted,
+            "custody-transfer-failed": self.drops_custody_transfer_failed,
         }
         return {cause: count for cause, count in causes.items() if count}
 
@@ -204,6 +242,15 @@ class INR(Process):
             if self.config.packet_cache_size > 0
             else None
         )
+        #: Disruption tolerance: the custody store, when enabled.
+        self.custody: Optional[CustodyStore] = (
+            CustodyStore(self.config.custody_capacity)
+            if self.config.enable_custody
+            else None
+        )
+        #: Custody is stable storage — a crash snapshot survives the
+        #: process and is re-adopted on restart (DSR snapshot pattern).
+        self._custody_snapshot: tuple = ()
         self.active = False
         self._started_at = 0.0
         self._terminated = False
@@ -244,6 +291,10 @@ class INR(Process):
         jitter = self.config.timer_jitter
         self.every(self.config.refresh_interval, self._send_periodic_updates, jitter)
         self.every(self.config.expiry_sweep_interval, self._sweep, jitter)
+        if self.custody is not None:
+            self.every(
+                self.config.custody_retry_interval, self._custody_tick, jitter
+            )
         if self.dsr_address is not None:
             self.every(self.config.heartbeat_interval, self._heartbeat, jitter)
             if self.config.enable_load_balancing:
@@ -259,6 +310,10 @@ class INR(Process):
         if self._terminated:
             return
         self._terminated = True
+        if self.custody is not None and len(self.custody):
+            # Held payloads must not die with their custodian: hand
+            # them to a surviving neighbor before saying goodbye.
+            self._custody_handoff()
         for neighbor in self.neighbors:
             self.send(neighbor.address, INR_PORT, PeerGoodbye(self.address))
         if self.dsr_address is not None:
@@ -277,6 +332,11 @@ class INR(Process):
         """Fail silently: no goodbye, no deregistration (for fault
         injection). Peers and the DSR recover through soft state."""
         self._terminated = True
+        if self.custody is not None:
+            # Custody is stable storage: the payloads a custodian
+            # accepted responsibility for survive its process and are
+            # re-adopted when the operator restarts it.
+            self._custody_snapshot = self.custody.snapshot()
         self.stop()
 
     def restart(self) -> None:
@@ -309,6 +369,11 @@ class INR(Process):
             if self.config.packet_cache_size > 0
             else None
         )
+        self.custody = (
+            CustodyStore(self.config.custody_capacity)
+            if self.config.enable_custody
+            else None
+        )
         self._pending_pings = {}
         self._join_rtts = {}
         self._join_attempts = 0
@@ -332,6 +397,18 @@ class INR(Process):
                 retransmit_timeout=self.config.reliable_retransmit_timeout,
             )
         self.node.bind(self.port, self)
+        if self.custody is not None and self._custody_snapshot:
+            # Re-adopt the crash snapshot, preserving each payload's
+            # absolute deadline; payloads that lapsed while the process
+            # was down are attributed as custody-expired drops.
+            before = self.custody.counts.accepted
+            lapsed, evicted = self.custody.adopt(self._custody_snapshot, self.now)
+            self._custody_snapshot = ()
+            self.stats.custody_accepted += self.custody.counts.accepted - before
+            for entry in lapsed:
+                self._custody_drop(entry, "custody-expired")
+            for entry in evicted:
+                self._custody_drop(entry, "custody-evicted")
         self.start()
 
     @property
@@ -364,6 +441,8 @@ class INR(Process):
             return costs.update_batch(len(payload.updates))
         if isinstance(payload, NameWithdraw):
             return costs.receive + costs.update_per_name
+        if isinstance(payload, CustodyTransfer):
+            return costs.receive + costs.update_per_name * len(payload.records)
         if isinstance(payload, Advertisement):
             return costs.receive + costs.update_per_name
         if isinstance(payload, (ResolutionRequest, DiscoveryRequest)):
@@ -495,6 +574,8 @@ class INR(Process):
             return
         if isinstance(payload, NameWithdraw):
             self._handle_withdraw(payload, source)
+        elif isinstance(payload, CustodyTransfer):
+            self._handle_custody_transfer(payload)
         elif isinstance(payload, UpdateBatch):
             self._handle_update_batch(payload)
         elif isinstance(payload, Advertisement):
@@ -776,11 +857,23 @@ class INR(Process):
                 route=Route(next_hop=None, metric=0.0),
                 expires_at=self.now + ad.lifetime,
             )
+            readmitted = False
+            if self.config.partition_grace > 0:
+                existing = tree.record_for(ad.announcer)
+                readmitted = existing is not None and existing.is_expired(
+                    self.now
+                )
             outcome = tree.insert(ad.name, record)
-            if outcome.changed:
+            if readmitted:
+                # A graced record came back to life: the payload-equal
+                # fast path would suppress the triggered update, but
+                # neighbors believed the name dead — force propagation.
+                self.stats.expiry_grace_readmissions += 1
+            if outcome.changed or readmitted:
                 changed.append((vspace, ad.name, outcome.record))
         if changed:
             self._send_triggered(changed, exclude=None)
+            self._custody_retry()
 
     def _deliver_reliable(self, neighbor: str, payload: object) -> None:
         """In-order application delivery from the reliable channel."""
@@ -788,6 +881,8 @@ class INR(Process):
             self._handle_update_batch(payload)
         elif isinstance(payload, NameWithdraw):
             self._handle_withdraw(payload, neighbor)
+        elif isinstance(payload, CustodyTransfer):
+            self._handle_custody_transfer(payload)
 
     def _handle_withdraw(self, withdraw: NameWithdraw, source: str) -> None:
         """Explicit name removal (reliable-delta mode)."""
@@ -837,6 +932,7 @@ class INR(Process):
                     changed.append((update.vspace, update.name, record))
         if changed:
             self._send_triggered(changed, exclude=batch.sender)
+            self._custody_retry()
 
     def _apply_update(
         self, tree: NameTree, update: NameUpdate, sender: str, link_rtt: float
@@ -859,6 +955,13 @@ class INR(Process):
             # Never let a reflected update displace a directly-attached
             # service; the local announcement is authoritative.
             return False
+        if self.config.partition_grace > 0 and existing.is_expired(self.now):
+            # A graced record names a route that died with the
+            # partition; comparing metrics against the corpse would
+            # wrongly favor it. Any fresh news re-admits the name.
+            tree.insert(update.name, incoming)
+            self.stats.expiry_grace_readmissions += 1
+            return True
         if existing.route.next_hop == sender:
             # News from the current next hop is always accepted, even if
             # the metric worsened (standard distance-vector rule).
@@ -955,7 +1058,7 @@ class INR(Process):
 
     def _sweep(self) -> None:
         for tree in self.trees.values():
-            expired = tree.expire(self.now)
+            expired = tree.expire(self.now, grace=self.config.partition_grace)
             if self._reliable is not None:
                 # Explicitly withdraw locally announced names that died
                 # (the service stopped refreshing its advertisement).
@@ -983,6 +1086,22 @@ class INR(Process):
     # ------------------------------------------------------------------
     # Early binding and discovery queries
     # ------------------------------------------------------------------
+    def _query_records(
+        self, tree: NameTree, name: NameSpecifier
+    ) -> List[NameRecord]:
+        """Matches of ``name`` that a query answer may bind to.
+
+        With a partition grace configured, expired records linger in
+        the tree well past their lifetime; they must stay out of query
+        answers — grace preserves state for fast readmission, it does
+        not resurrect bindings. With grace off, the raw lookup set is
+        returned untouched so baseline behavior stays byte-identical.
+        """
+        records = tree.lookup(name)
+        if self.config.partition_grace > 0:
+            return [r for r in records if not r.is_expired(self.now)]
+        return list(records)
+
     def _handle_resolution(self, request: ResolutionRequest) -> None:
         span = self._span_start("inr.resolve", request.trace)
         vspace = request.name.vspaces()[0]
@@ -995,7 +1114,7 @@ class INR(Process):
         self.stats.lookups += 1
         self.stats.queries_served += 1
         bindings = []
-        for record in tree.lookup(request.name):
+        for record in self._query_records(tree, request.name):
             for endpoint in record.endpoints:
                 bindings.append((endpoint, record.anycast_metric))
         bindings.sort(key=lambda pair: (pair[1], pair[0]))
@@ -1032,7 +1151,7 @@ class INR(Process):
         for tree in searched:
             names.extend(
                 (tree.get_name(record), record.anycast_metric)
-                for record in tree.lookup(request.filter)
+                for record in self._query_records(tree, request.filter)
             )
         names.sort(key=lambda pair: pair[0].to_wire())
         self.send(
@@ -1091,6 +1210,10 @@ class INR(Process):
                     message.source, message.data, self.now, message.cache_lifetime
                 )
         if not records:
+            if self._custody_take(
+                tree.vspace, packet, "no-route", PRIORITY_UNKNOWN_NAME, span
+            ):
+                return
             self.stats.drops_no_route += 1
             self._span_end(span, DROP_PREFIX + "no-route")
             return
@@ -1103,7 +1226,12 @@ class INR(Process):
         if not live:
             # Every match outlived its soft-state lifetime but the sweep
             # has not collected it yet; routing through it would target
-            # a service presumed dead.
+            # a service presumed dead. The name *was* known here, so a
+            # custodian holds the payload at the highest priority.
+            if self._custody_take(
+                tree.vspace, packet, "expired-record", PRIORITY_KNOWN_NAME, span
+            ):
+                return
             self.stats.drops_expired_record += 1
             self._span_end(span, DROP_PREFIX + "expired-record")
             return
@@ -1130,7 +1258,7 @@ class INR(Process):
             self._span_end(span, DROP_PREFIX + "malformed")
             return
         bindings = []
-        for record in tree.lookup(message.destination):
+        for record in self._query_records(tree, message.destination):
             for endpoint in record.endpoints:
                 bindings.append(
                     {
@@ -1179,8 +1307,16 @@ class INR(Process):
         )
         if best.route.is_local:
             self._deliver_local(tree, packet, best, span)
-        else:
-            self._forward_to_inr(packet, best.route.next_hop, span)
+            return
+        if self._next_hop_suspect(best.route.next_hop):
+            # The route exists but its next hop has gone silent —
+            # forwarding would feed the payload to a dead link long
+            # before the neighbor timeout flushes the route.
+            if self._custody_take(
+                tree.vspace, packet, "next-hop-suspect", PRIORITY_KNOWN_NAME, span
+            ):
+                return
+        self._forward_to_inr(packet, best.route.next_hop, span)
 
     def _route_multicast(
         self,
@@ -1243,6 +1379,201 @@ class INR(Process):
             self._span_end(span, "forwarded")
 
         self._work(self.costs.forward, forward)
+
+    # ------------------------------------------------------------------
+    # Disruption tolerance: custody store-and-forward (repro.dtn)
+    # ------------------------------------------------------------------
+    def _next_hop_suspect(self, next_hop: Optional[str]) -> bool:
+        """True when forwarding to ``next_hop`` would likely feed a dead
+        link: the neighbor vanished, or has been silent longer than the
+        configured suspicion threshold. Only consulted when custody is
+        on — without a custodian there is nothing better to do than try."""
+        silence = self.config.custody_suspect_silence
+        if self.custody is None or silence <= 0 or next_hop is None:
+            return False
+        neighbor = self.neighbors.get(next_hop)
+        if neighbor is None:
+            return True
+        return self.now - neighbor.last_heard > silence
+
+    def _custody_take(
+        self,
+        vspace: str,
+        packet: DataPacket,
+        cause: str,
+        priority: int,
+        span=None,
+    ) -> bool:
+        """Take custody of an unroutable payload instead of dropping it.
+
+        Returns True when the payload's fate was settled here — held,
+        or evicted at the door (which is itself an attributed drop) —
+        and False when custody does not apply, in which case the caller
+        falls through to the paper's drop behavior. Only late-binding
+        anycast is eligible: early binding answers from current state
+        by design, and a multicast payload has no single custodian.
+        """
+        if self.custody is None:
+            return False
+        message = packet.message
+        if message.binding is not Binding.LATE:
+            return False
+        if message.delivery is not Delivery.ANYCAST:
+            return False
+        entry, evicted = self.custody.accept(
+            packet.raw,
+            message.destination,
+            vspace,
+            self.now,
+            ttl=self.config.custody_ttl,
+            priority=priority,
+            cause=cause,
+            trace=message.trace,
+        )
+        for victim in evicted:
+            self._custody_drop(victim, "custody-evicted")
+        if entry is None:
+            # Refused at the door: the store is full of higher-priority
+            # payloads, so the newcomer is the cheapest loss.
+            self.stats.drops_custody_evicted += 1
+            self._span_end(span, DROP_PREFIX + "custody-evicted")
+            return True
+        self.stats.custody_accepted += 1
+        self._span_note(span, f"custody cause={cause} priority={priority}")
+        self._span_end(span, "custody-accepted")
+        return True
+
+    def _custody_drop(self, entry: CustodyEntry, cause: str) -> None:
+        """Attribute the final loss of a custodied payload: a distinct
+        drop counter per cause, and a span status a trace query can
+        find (satellite: every drop path stays attributable)."""
+        if cause == "custody-expired":
+            self.stats.drops_custody_expired += 1
+        elif cause == "custody-evicted":
+            self.stats.drops_custody_evicted += 1
+        else:
+            self.stats.drops_custody_transfer_failed += 1
+        span = self._span_start("inr.custody", entry.trace, cause=entry.cause)
+        self._span_end(span, DROP_PREFIX + cause)
+
+    def _custody_tick(self) -> None:
+        """Periodic custody maintenance: lapse overdue payloads, then
+        re-attempt the rest. The timer is the backstop that catches
+        link heals no triggered update announces."""
+        if self.custody is None or self._terminated:
+            return
+        for entry in self.custody.expire(self.now):
+            self._custody_drop(entry, "custody-expired")
+        self._custody_retry()
+
+    def _custody_retry(self) -> None:
+        """Release every held payload whose destination is resolvable
+        again, re-injecting it through the normal forwarding path (late
+        binding: the name is re-resolved at release time, so the
+        payload goes wherever the service is *now*)."""
+        if self.custody is None or not len(self.custody):
+            return
+        for entry in self.custody.entries():
+            tree = self.trees.get(entry.vspace)
+            if tree is None:
+                continue
+            live = [
+                r
+                for r in tree.lookup(entry.destination)
+                if not r.is_expired(self.now)
+            ]
+            if not live:
+                continue
+            best = min(
+                live,
+                key=lambda r: (r.anycast_metric, r.route.metric, str(r.announcer)),
+            )
+            if not best.route.is_local and self._next_hop_suspect(
+                best.route.next_hop
+            ):
+                continue
+            if self.custody.release(entry):
+                self.stats.custody_released += 1
+                span = self._span_start(
+                    "inr.custody", entry.trace, cause=entry.cause
+                )
+                self._span_end(span, "custody-released")
+                self._handle_data(DataPacket(raw=entry.raw), self.address)
+
+    def _custody_handoff(self) -> None:
+        """Migrate held payloads to a surviving neighbor (termination
+        path). Deadlines ride along unchanged — a handoff must not
+        reset a payload's custody clock. Best-effort by nature: the
+        sender is about to stop and cannot retransmit past its death."""
+        entries = self.custody.drain()
+        if not entries:
+            return
+        parent = self.neighbors.parent
+        if parent is not None:
+            recipient: Optional[str] = parent.address
+        else:
+            addresses = sorted(self.neighbors.addresses)
+            recipient = addresses[0] if addresses else None
+        if recipient is None:
+            # Nobody left to hand custody to; the payloads die with us.
+            for entry in entries:
+                self._custody_drop(entry, "custody-transfer-failed")
+            return
+        records = tuple(
+            CustodyRecord(
+                raw=entry.raw,
+                vspace=entry.vspace,
+                deadline=entry.deadline,
+                priority=entry.priority,
+                transfers=entry.transfers + 1,
+            )
+            for entry in entries
+        )
+        self._send_control(
+            recipient, CustodyTransfer(sender=self.address, records=records)
+        )
+        self.stats.custody_transfers_sent += 1
+        for entry in entries:
+            span = self._span_start("inr.custody", entry.trace, cause=entry.cause)
+            self._span_note(span, f"handoff to {recipient}")
+            self._span_end(span, "custody-transferred")
+
+    def _handle_custody_transfer(self, transfer: CustodyTransfer) -> None:
+        """Adopt payloads from a departing custodian, preserving each
+        absolute deadline, then immediately re-attempt them — this
+        resolver may well have the route its predecessor lacked."""
+        self.stats.custody_transfers_received += 1
+        if self.custody is None:
+            # No custody store here: the handoff's payloads have no
+            # custodian left and are lost, attributably.
+            for record in transfer.records:
+                try:
+                    context = InsMessage.decode(record.raw).trace
+                except Exception:
+                    context = None
+                self.stats.drops_custody_transfer_failed += 1
+                span = self._span_start("inr.custody", context)
+                self._span_end(span, DROP_PREFIX + "custody-transfer-failed")
+            return
+        snapshot = tuple(
+            (
+                record.raw,
+                record.vspace,
+                record.deadline,
+                record.priority,
+                "transferred",
+                record.transfers,
+            )
+            for record in transfer.records
+        )
+        before = self.custody.counts.accepted
+        lapsed, evicted = self.custody.adopt(snapshot, self.now)
+        self.stats.custody_accepted += self.custody.counts.accepted - before
+        for entry in lapsed:
+            self._custody_drop(entry, "custody-expired")
+        for entry in evicted:
+            self._custody_drop(entry, "custody-evicted")
+        self._custody_retry()
 
     # ------------------------------------------------------------------
     # Foreign virtual spaces (Section 2.5)

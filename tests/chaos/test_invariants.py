@@ -151,3 +151,60 @@ class TestNameConsistency:
         fast_bound = InvariantChecker(fast_domain).convergence_bound()
         slow_bound = InvariantChecker(slow_domain).convergence_bound()
         assert slow_bound > fast_bound
+
+
+class TestCustodyDrained:
+    """Post-heal convergence: no payload may still sit in custody."""
+
+    def custody_domain(self):
+        from dataclasses import replace
+
+        config = replace(
+            fast_chaos_config(),
+            enable_custody=True,
+            custody_ttl=5.0,
+            custody_retry_interval=0.5,
+        )
+        domain = InsDomain(seed=52, config=config,
+                           dsr_registration_lifetime=3.0,
+                           dsr_sweep_interval=0.5)
+        inr = domain.add_inr()
+        client = domain.add_client(resolver=inr)
+        domain.run(2.0)
+        return domain, inr, client
+
+    def test_vacuous_when_custody_disabled(self):
+        domain, _inrs = make_domain(n_inrs=1, n_services=0)
+        assert InvariantChecker(domain).custody_drained() == []
+
+    def test_held_payload_past_bound_flagged(self):
+        from repro.naming import NameSpecifier
+
+        domain, inr, client = self.custody_domain()
+        client.send_anycast(NameSpecifier.parse("[service=stuck]"), b"x")
+        domain.run(0.5)
+        assert len(inr.custody) == 1
+        violations = InvariantChecker(domain).custody_drained()
+        assert len(violations) == 1
+        assert violations[0].invariant == "custody-drained"
+        assert inr.address in violations[0].detail
+
+    def test_settled_store_is_clean(self):
+        """Once every payload lapses by TTL the store drains and the
+        invariant holds again (the lapse is an attributed drop)."""
+        from repro.naming import NameSpecifier
+
+        domain, inr, client = self.custody_domain()
+        client.send_anycast(NameSpecifier.parse("[service=stuck]"), b"x")
+        checker = InvariantChecker(domain)
+        domain.run(checker.convergence_bound())
+        assert checker.custody_drained() == []
+        assert inr.stats.drops_custody_expired == 1
+
+    def test_bound_covers_custody_ttl(self):
+        domain, _inr, _client = self.custody_domain()
+        plain, _ = make_domain(n_inrs=1, n_services=0)
+        assert (
+            InvariantChecker(domain).convergence_bound()
+            > InvariantChecker(plain).convergence_bound()
+        )

@@ -177,3 +177,56 @@ class TestChaosController:
         assert link.duplicate_rate == 0.5 and link.reorder_rate == 0.3
         domain.run(1.0)
         assert link.duplicate_rate == 0.0 and link.reorder_rate == 0.0
+
+
+class TestFaultPlanDutyCycle:
+    LINKS = [("inr-a", "inr-b"), ("inr-b", "inr-c")]
+
+    def test_same_seed_same_plan(self):
+        kwargs = dict(link_pairs=self.LINKS, start=1.0, end=31.0, period=6.0)
+        assert FaultPlan.duty_cycle(7, **kwargs) == FaultPlan.duty_cycle(
+            7, **kwargs
+        )
+
+    def test_different_seed_different_phases(self):
+        kwargs = dict(link_pairs=self.LINKS, start=1.0, end=31.0, period=6.0)
+        assert FaultPlan.duty_cycle(1, **kwargs) != FaultPlan.duty_cycle(
+            2, **kwargs
+        )
+
+    def test_every_link_ends_up(self):
+        """The closing event for every link is its link-up: a duty
+        plan never strands a link down past its window."""
+        plan = FaultPlan.duty_cycle(
+            3, self.LINKS, start=0.0, end=40.0, period=5.0, duty=0.4
+        )
+        final = {}
+        for event in plan:
+            assert 0.0 <= event.at <= 40.0
+            assert event.kind in ("link-down", "link-up")
+            final[event.target] = event.kind
+        assert len(final) == len(self.LINKS)
+        assert set(final.values()) == {"link-up"}
+
+    def test_duty_fraction_validated(self):
+        with pytest.raises(ValueError, match="duty"):
+            FaultPlan.duty_cycle(0, self.LINKS, start=0.0, end=10.0, duty=1.0)
+        with pytest.raises(ValueError, match="period"):
+            FaultPlan.duty_cycle(0, self.LINKS, start=5.0, end=5.0)
+
+    def test_links_actually_cycle(self):
+        """Executing a duty plan toggles the physical link state."""
+        domain = InsDomain(seed=4)
+        domain.add_inr(address="inr-a")
+        domain.add_inr(address="inr-b")
+        link = domain.network.link("inr-a", "inr-b")
+        plan = FaultPlan.duty_cycle(
+            0, [("inr-a", "inr-b")], start=0.5, end=10.5, period=10.0,
+            duty=0.5, phase_jitter=0.0
+        )
+        controller = ChaosController(domain)
+        controller.execute(plan)
+        domain.run(7.0)
+        assert link.up is False
+        domain.run(5.0)
+        assert link.up is True
