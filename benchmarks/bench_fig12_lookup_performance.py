@@ -15,6 +15,7 @@ from _report import RESULTS_DIR, record_table
 from repro.experiments.fig12 import (
     run_lookup_experiment,
     run_memo_ablation,
+    run_update_ingestion_bench,
     write_bench_lookup_json,
 )
 from repro.experiments.workload import UniformWorkload
@@ -77,11 +78,13 @@ def test_fig12_memo_ablation(benchmark):
         rounds=1,
         iterations=1,
     )
+    ingestion = run_update_ingestion_bench()
     curve = run_lookup_experiment(
-        name_counts=(100, 2500, 5000), lookups_per_point=500
+        name_counts=(100, 2500, 5000), lookups_per_point=1000
     )
     payload = write_bench_lookup_json(
-        os.path.join(RESULTS_DIR, "BENCH_lookup.json"), curve, ablation
+        os.path.join(RESULTS_DIR, "BENCH_lookup.json"), curve, ablation,
+        ingestion,
     )
     record_table(
         "Ablation: lookup memo (cached vs uncached, repeated queries)",
@@ -98,6 +101,10 @@ def test_fig12_memo_ablation(benchmark):
     assert payload["memo_ablation"]["speedup"] == ablation.speedup
     # The fast path must be worth having: >= 2x on repeated queries.
     assert ablation.speedup >= 2.0
+    # Batched refresh ingestion must beat per-update validation: the
+    # refresh fast path plus one epoch per batch is the whole point.
+    assert payload["update_ingestion"]["speedup"] == ingestion.speedup
+    assert ingestion.speedup >= 1.5
     # Pure periodic refreshes kept the memo warm: each distinct query
     # misses once, every other lookup hits.
     assert ablation.memo_misses == ablation.distinct_queries

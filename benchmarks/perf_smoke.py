@@ -1,0 +1,142 @@
+"""Perf smoke: the deterministic Figure-12 bench as a regression gate.
+
+Runs the fig12 lookup curve (same workload seeds as the checked-in
+``benchmarks/results/BENCH_lookup.json``), the memo ablation and the
+update-ingestion ablation, then:
+
+1. compares the freshly-measured uncached lookup cost at the largest
+   tree size against the checked-in baseline and **exits non-zero when
+   it regressed by more than the threshold** (default 20%);
+2. rewrites ``BENCH_lookup.json`` with the new numbers (CI uploads it
+   as an artifact; a release commit checks it in as the next baseline).
+
+Wall-clock noise is handled the way the baseline itself was produced:
+the curve is measured ``--repeats`` times and each point keeps its best
+(minimum) per-lookup time, which is the standard low-noise statistic
+for a single-threaded CPU-bound loop.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--repeats 3]
+        [--threshold 0.20] [--baseline PATH] [--output PATH] [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))  # for _report
+from _report import RESULTS_DIR  # noqa: E402
+
+from repro.experiments.fig12 import (  # noqa: E402
+    LookupRow,
+    run_lookup_experiment,
+    run_memo_ablation,
+    run_update_ingestion_bench,
+    write_bench_lookup_json,
+)
+
+#: The curve protocol: same points and seeds as the checked-in
+#: baseline, and the paper's own 1000 lookups per point (Section 5.1.1
+#: times "1000 random lookups" at each size). Comparing a different
+#: workload would be comparing two different experiments.
+CURVE_POINTS = (100, 2500, 5000)
+LOOKUPS_PER_POINT = 1000
+
+
+def measure_curve(repeats: int) -> list:
+    """The fig12 curve, each point at its best-of-``repeats`` time."""
+    best: list = None
+    for _ in range(repeats):
+        rows = run_lookup_experiment(
+            name_counts=CURVE_POINTS, lookups_per_point=LOOKUPS_PER_POINT
+        )
+        if best is None:
+            best = rows
+        else:
+            best = [
+                row if row.mean_lookup_us < kept.mean_lookup_us else kept
+                for kept, row in zip(best, rows)
+            ]
+    return best
+
+
+def best_ingestion(repeats: int):
+    """The update-ingestion ablation at its best-of-``repeats`` rates."""
+    best = None
+    for _ in range(repeats):
+        result = run_update_ingestion_bench()
+        if best is None or result.batched_updates_per_second > best.batched_updates_per_second:
+            best = result
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional regression (0.20 = 20%%)")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(RESULTS_DIR, "BENCH_lookup.json"),
+        help="checked-in BENCH_lookup.json to compare against",
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(RESULTS_DIR, "BENCH_lookup.json"),
+        help="where to write the fresh BENCH_lookup.json",
+    )
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and compare, but do not rewrite the json")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        baseline_point = max(baseline["curve"], key=lambda r: r["names_in_tree"])
+        baseline_us = baseline_point["mean_lookup_us"]
+        baseline_names = baseline_point["names_in_tree"]
+    except (OSError, KeyError, ValueError) as error:
+        print(f"perf-smoke: no usable baseline ({error}); measuring only")
+        baseline_us = None
+        baseline_names = None
+
+    curve = measure_curve(args.repeats)
+    ablation = run_memo_ablation(refresh_every=100)
+    ingestion = best_ingestion(args.repeats)
+
+    for row in curve:
+        print(
+            f"perf-smoke: {row.names_in_tree:>6} names  "
+            f"{row.mean_lookup_us:7.2f} us/lookup  "
+            f"{row.lookups_per_second:10.0f} lookups/s"
+        )
+    print(f"perf-smoke: memo speedup {ablation.speedup:.1f}x, "
+          f"ingestion speedup {ingestion.speedup:.2f}x")
+
+    if not args.dry_run:
+        write_bench_lookup_json(args.output, curve, ablation, ingestion)
+        print(f"perf-smoke: wrote {args.output}")
+
+    if baseline_us is None:
+        return 0
+    current = max(curve, key=lambda r: r.names_in_tree)
+    if current.names_in_tree != baseline_names:
+        print("perf-smoke: baseline measures a different tree size "
+              f"({baseline_names} vs {current.names_in_tree}); not comparable")
+        return 1
+    limit = baseline_us * (1.0 + args.threshold)
+    verdict = "OK" if current.mean_lookup_us <= limit else "REGRESSED"
+    print(
+        f"perf-smoke: uncached lookup at {current.names_in_tree} names: "
+        f"{current.mean_lookup_us:.2f} us vs baseline {baseline_us:.2f} us "
+        f"(limit {limit:.2f} us) -> {verdict}"
+    )
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -206,19 +206,116 @@ def run_memo_ablation(
     )
 
 
+# ----------------------------------------------------------------------
+# Update-ingestion ablation (the batched refresh path)
+# ----------------------------------------------------------------------
+@dataclass
+class UpdateIngestionResult:
+    """Periodic-refresh ingestion: per-update validation vs the batched
+    refresh fast path.
+
+    "Legacy" reproduces what every insert used to cost: a full
+    ``require_concrete`` walk of the name per update, one potential
+    epoch move per name. "Batched" is the current INR path: one
+    :meth:`NameTree.batch` per delivery, refreshes detected by
+    advertised-key equality (no re-validation walk), at most one epoch
+    per batch.
+    """
+
+    names_in_tree: int
+    refresh_rounds: int
+    updates_applied: int
+    legacy_updates_per_second: float
+    batched_updates_per_second: float
+    speedup: float
+
+
+def run_update_ingestion_bench(
+    names_in_tree: int = 2000,
+    refresh_rounds: int = 10,
+    depth: int = 3,
+    attribute_range: int = 3,
+    value_range: int = 3,
+    attributes_per_level: int = 2,
+    seed: int = 0,
+) -> UpdateIngestionResult:
+    """Measure refresh-storm ingestion throughput both ways.
+
+    The workload is the INR's steady state: every announced name is
+    re-advertised each lifetime, so the tree absorbs ``names_in_tree``
+    pure refreshes per round. Each mode gets its own freshly-populated
+    tree and is timed over ``refresh_rounds`` full storms.
+    """
+    rng = random.Random(seed)
+    workload = UniformWorkload(
+        rng=rng,
+        depth=depth,
+        attribute_range=attribute_range,
+        value_range=value_range,
+        attributes_per_level=attributes_per_level,
+    )
+    names = workload.distinct_names(names_in_tree)
+
+    from ..nametree import AnnouncerID, Endpoint, NameRecord
+
+    def fresh_record(index: int) -> NameRecord:
+        # A new object per update, same announcer: exactly what the INR
+        # builds when a periodic NAME-UPDATE arrives.
+        return NameRecord(
+            announcer=AnnouncerID(host=f"ingest-{index}", startup_time=1.0),
+            endpoints=[Endpoint(host=f"ingest-{index}", port=1)],
+        )
+
+    def populate() -> NameTree:
+        tree = NameTree()
+        for index, name in enumerate(names):
+            tree.insert(name, fresh_record(index))
+        return tree
+
+    updates = refresh_rounds * names_in_tree
+
+    legacy_tree = populate()
+    started = time.perf_counter()
+    for _ in range(refresh_rounds):
+        for index, name in enumerate(names):
+            name.require_concrete()  # the per-update walk inserts used to pay
+            legacy_tree.insert(name, fresh_record(index))
+    legacy_rate = updates / (time.perf_counter() - started)
+
+    batched_tree = populate()
+    started = time.perf_counter()
+    for _ in range(refresh_rounds):
+        with batched_tree.batch():
+            for index, name in enumerate(names):
+                batched_tree.insert(name, fresh_record(index))
+    batched_rate = updates / (time.perf_counter() - started)
+
+    return UpdateIngestionResult(
+        names_in_tree=names_in_tree,
+        refresh_rounds=refresh_rounds,
+        updates_applied=updates,
+        legacy_updates_per_second=legacy_rate,
+        batched_updates_per_second=batched_rate,
+        speedup=batched_rate / legacy_rate,
+    )
+
+
 def write_bench_lookup_json(
     path: Union[str, Path],
     curve: Sequence[LookupRow],
     ablation: Optional[MemoAblationResult] = None,
+    ingestion: Optional[UpdateIngestionResult] = None,
 ) -> dict:
     """Emit ``BENCH_lookup.json``: the Figure-12 curve plus the
-    cached-vs-uncached ablation, as a machine-readable perf trajectory
-    for later sessions to compare against. Returns the payload."""
+    cached-vs-uncached ablation and the update-ingestion ablation, as a
+    machine-readable perf trajectory for later sessions to compare
+    against. Returns the payload."""
     payload = {
         "benchmark": "fig12-lookup",
-        "schema_version": 1,
+        "schema_version": 2,
         "curve": [asdict(row) for row in curve],
         "memo_ablation": asdict(ablation) if ablation is not None else None,
+        "update_ingestion": asdict(ingestion) if ingestion is not None else None,
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

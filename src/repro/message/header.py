@@ -93,6 +93,18 @@ class Header:
 
     def pack(self) -> bytes:
         """Serialize the header (and trace context, when present)."""
+        out = bytearray(self.wire_length)
+        self.pack_into(out, 0)
+        return bytes(out)
+
+    def pack_into(self, buffer, offset: int = 0) -> int:
+        """Serialize in place at ``offset`` of a writable buffer.
+
+        Returns the offset just past the written bytes. This is the
+        zero-copy path :meth:`InsMessage.encode` uses to lay the header
+        directly into the one packet buffer instead of concatenating
+        intermediate ``bytes`` objects.
+        """
         flags = 0
         if self.binding is Binding.LATE:
             flags |= _FLAG_LATE_BINDING
@@ -102,7 +114,9 @@ class Header:
             flags |= _FLAG_ACCEPT_CACHED
         if self.trace is not None:
             flags |= _FLAG_TRACE_CONTEXT
-        fixed = _HEADER.pack(
+        _HEADER.pack_into(
+            buffer,
+            offset,
             self.version,
             flags,
             0,
@@ -112,13 +126,19 @@ class Header:
             self.hop_limit,
             self.cache_lifetime,
         )
-        if self.trace is None:
-            return fixed
-        return fixed + self.trace.pack()
+        end = offset + HEADER_SIZE
+        if self.trace is not None:
+            self.trace.pack_into(buffer, end)
+            end += TRACE_CONTEXT_SIZE
+        return end
 
     @classmethod
-    def unpack(cls, data: bytes) -> "Header":
-        """Decode the fixed header from the front of ``data``."""
+    def unpack(cls, data) -> "Header":
+        """Decode the fixed header from the front of ``data``.
+
+        Accepts any bytes-like buffer, including a ``memoryview`` over a
+        larger frame; ``unpack_from`` reads the fields without slicing.
+        """
         if len(data) < HEADER_SIZE:
             raise HeaderError(
                 f"packet too short for header: {len(data)} < {HEADER_SIZE}"

@@ -55,7 +55,12 @@ class InsMessage:
     # Wire format
     # ------------------------------------------------------------------
     def encode(self) -> bytes:
-        """Serialize to the Figure 10 packet layout."""
+        """Serialize to the Figure 10 packet layout.
+
+        Single-buffer: the exact packet size is known up front, so the
+        header is packed in place and the name/data sections are slice-
+        assigned into one ``bytearray`` — no intermediate concatenations.
+        """
         source_bytes = self.source.to_wire().encode("utf-8")
         destination_bytes = self.destination.to_wire().encode("utf-8")
         source_offset = HEADER_SIZE + (
@@ -75,24 +80,35 @@ class InsMessage:
             accept_cached=self.accept_cached,
             trace=self.trace,
         )
-        return header.pack() + source_bytes + destination_bytes + self.data
+        out = bytearray(data_offset + len(self.data))
+        header.pack_into(out, 0)
+        out[source_offset:destination_offset] = source_bytes
+        out[destination_offset:data_offset] = destination_bytes
+        out[data_offset:] = self.data
+        return bytes(out)
 
     @classmethod
-    def decode(cls, packet: bytes) -> "InsMessage":
-        """Parse a packet produced by :meth:`encode`."""
+    def decode(cls, packet) -> "InsMessage":
+        """Parse a packet produced by :meth:`encode`.
+
+        Accepts any bytes-like buffer; the name-specifier sections are
+        UTF-8-decoded straight out of a ``memoryview``, so no sliced
+        ``bytes`` copies are made before parsing.
+        """
         header = Header.unpack(packet)
-        source_text = packet[header.source_offset:header.destination_offset].decode(
-            "utf-8"
+        view = memoryview(packet)
+        source_text = str(
+            view[header.source_offset:header.destination_offset], "utf-8"
         )
-        destination_text = packet[header.destination_offset:header.data_offset].decode(
-            "utf-8"
+        destination_text = str(
+            view[header.destination_offset:header.data_offset], "utf-8"
         )
         if not destination_text:
             raise HeaderError("packet has an empty destination name-specifier")
         return cls(
             destination=NameSpecifier.parse(destination_text),
             source=NameSpecifier.parse(source_text),
-            data=packet[header.data_offset:],
+            data=bytes(view[header.data_offset:]),
             binding=header.binding,
             delivery=header.delivery,
             hop_limit=header.hop_limit,

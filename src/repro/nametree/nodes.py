@@ -9,7 +9,7 @@ The tree root behaves like a value-node with no value.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Set, TYPE_CHECKING
+from typing import Dict, FrozenSet, Iterator, Optional, Set, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .record import NameRecord
@@ -18,7 +18,16 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 class ValueNode:
     """A possible value of an attribute, with child attribute-nodes."""
 
-    __slots__ = ("value", "parent", "children", "records", "ptr", "aggregate")
+    __slots__ = (
+        "value",
+        "parent",
+        "children",
+        "records",
+        "ptr",
+        "aggregate",
+        "_sub_fs",
+        "_sub_epoch",
+    )
 
     def __init__(
         self,
@@ -40,6 +49,16 @@ class ValueNode:
         #: memory and O(depth) maintenance on insert/remove for O(1)
         #: wild-card unions in LOOKUP-NAME.
         self.aggregate: Optional[Dict["NameRecord", int]] = {} if indexed else None
+        #: lazily-built set of subtree_records(), valid only while the
+        #: owning tree's epoch equals ``_sub_epoch``. A frozenset for
+        #: interior nodes; for leaves it aliases ``records`` outright.
+        #: LOOKUP-NAME consults it so wildcard-heavy (and deep concrete)
+        #: queries stop re-scanning unchanged subtrees; a membership
+        #: change advances the tree epoch, which invalidates every cache
+        #: by key without touching the nodes. Consumers must treat it as
+        #: read-only.
+        self._sub_fs: Optional[FrozenSet["NameRecord"]] = None
+        self._sub_epoch: int = -1
 
     @property
     def is_leaf(self) -> bool:
@@ -80,12 +99,68 @@ class ValueNode:
                 stack.extend(value_node.children.values())
         return collected
 
+    def subtree_frozen(self, epoch: int) -> FrozenSet["NameRecord"]:
+        """:meth:`subtree_records` as a cached frozenset, keyed by the
+        owning tree's ``epoch``.
+
+        The first call after a membership change rebuilds the set; every
+        later call at the same epoch returns the cached object, so the
+        unions and intersections of LOOKUP-NAME operate on shared
+        frozensets instead of walking the subtree per query. Callers
+        must not mutate the result (take ``set(...)`` to own a copy).
+        """
+        if self._sub_epoch == epoch:
+            return self._sub_fs
+        if self.aggregate is not None:
+            frozen = frozenset(self.aggregate)
+        elif not self.children:
+            # A leaf's subtree IS its record set: alias it instead of
+            # copying (leaf builds dominate a cold pass). The read-only
+            # discipline holds because LOOKUP-NAME never mutates
+            # candidate sets and the public API copies at the boundary;
+            # a membership change advances the epoch, which retires the
+            # alias before the records set is ever served stale.
+            frozen = self.records
+        else:
+            collected = set(self.records)
+            update = collected.update
+            stack = list(self.children.values())
+            pop = stack.pop
+            extend = stack.extend
+            while stack:
+                attribute_node = pop()
+                for value_node in attribute_node.children.values():
+                    # A child whose cache is valid contributes its
+                    # whole subtree at once; no need to re-walk it.
+                    if value_node._sub_epoch == epoch:
+                        update(value_node._sub_fs)
+                    else:
+                        update(value_node.records)
+                        if value_node.children:
+                            extend(value_node.children.values())
+                        else:
+                            # Caching a traversed leaf costs two slot
+                            # stores; later queries that constrain on it
+                            # directly then skip the build call.
+                            value_node._sub_fs = value_node.records
+                            value_node._sub_epoch = epoch
+            frozen = frozenset(collected)
+        self._sub_fs = frozen
+        self._sub_epoch = epoch
+        return frozen
+
     def walk_values(self) -> Iterator["ValueNode"]:
-        """Yield this value-node and every value-node below it."""
-        yield self
-        for attribute_node in self.children.values():
-            for value_node in attribute_node.children.values():
-                yield from value_node.walk_values()
+        """Yield this value-node and every value-node below it.
+
+        Iterative: name-trees grown from deep programmatic names would
+        exhaust the interpreter stack under a nested-generator walk.
+        """
+        stack = [self]
+        while stack:
+            value_node = stack.pop()
+            yield value_node
+            for attribute_node in list(value_node.children.values())[::-1]:
+                stack.extend(list(attribute_node.children.values())[::-1])
 
     def prune_upwards(self) -> None:
         """Remove this node, and now-empty ancestors, from the tree.

@@ -116,6 +116,14 @@ class NameRecord:
     #: None while the record is not grafted anywhere.
     advertised_key: Optional[tuple] = field(default=None, repr=False)
 
+    #: Memoized __hash__. Records live in many sets (value-node record
+    #: sets, subtree caches, lookup results) and set operations probe
+    #: hashes constantly; recomputing the announcer/vspace tuple hash
+    #: per probe dominated LOOKUP-NAME's intersection cost. Filled on
+    #: first use, which happens no earlier than grafting — after
+    #: ``vspace`` is finalized by the owning tree.
+    _hash_cache: Optional[int] = field(default=None, repr=False, compare=False)
+
     def is_expired(self, now: float) -> bool:
         """True once the soft-state lifetime has elapsed unrefreshed."""
         return now >= self.expires_at
@@ -138,7 +146,11 @@ class NameRecord:
         )
 
     def __hash__(self) -> int:
-        return hash((self.announcer, self.vspace))
+        cached = self._hash_cache
+        if cached is None:
+            cached = hash((self.announcer, self.vspace))
+            self._hash_cache = cached
+        return cached
 
     def __eq__(self, other: object) -> bool:
         return self is other

@@ -54,6 +54,12 @@ def name_tree_bytes(tree: NameTree) -> int:
             total += _sizeof(value_node.value, seen)
         total += _sizeof(value_node.children, seen)
         total += _sizeof(value_node.records, seen)
+        if value_node._sub_fs is not None:
+            # The memoized subtree frozenset is resident memory the tree
+            # owns; its record elements are deduplicated by identity.
+            total += _sizeof(value_node._sub_fs, seen)
+        if value_node.aggregate is not None:
+            total += _sizeof(value_node.aggregate, seen)
         for record in value_node.records:
             total += _record_size(record, seen)
         for attribute_node in value_node.children.values():

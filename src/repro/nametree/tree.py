@@ -14,6 +14,19 @@ whole memo is flushed when a tree *epoch* counter advances. The epoch
 moves only on membership changes — graft, remove, expiry — never on a
 pure refresh, so periodic soft-state refreshes keep the memo warm.
 
+Two implementation notes on the hot paths:
+
+- LOOKUP-NAME runs iteratively over an explicit frame stack (names of
+  any depth resolve without recursion) and reads per-value-node subtree
+  sets through an epoch-keyed frozenset cache
+  (:meth:`.nodes.ValueNode.subtree_frozen`), so repeated distinct
+  queries against an unchanged record set stop re-walking subtrees.
+- Mutations can be grouped into a *batch epoch*
+  (:meth:`begin_batch`/:meth:`end_batch`/:meth:`batch`): the epoch
+  advances once when the outermost batch closes instead of once per
+  graft, which keeps one simulator delivery of N periodic updates from
+  invalidating lookup state N times.
+
 One fidelity note on LOOKUP-NAME: the paper states that omitted
 attributes correspond to wild-cards for both queries and advertisements.
 When a query av-pair is a leaf but the matched value-node is not (the
@@ -26,12 +39,18 @@ to all records they correspond to, which is the same set.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..naming import AVPair, NameSpecifier, classify_value
 from .nodes import AttributeNode, ValueNode
 from .record import AnnouncerID, NameRecord
+
+#: A shared always-empty cursor. The iterative LOOKUP-NAME assigns it to
+#: a frame whose candidate set just became empty, which ends that
+#: frame's pair loop without a per-pair emptiness test.
+_EXHAUSTED: Iterator[AVPair] = iter(())
 
 
 @dataclass(frozen=True)
@@ -88,14 +107,61 @@ class NameTree:
         self._memo_capacity = memo_capacity
         self._memo_epoch = 0
         self._epoch = 0
+        # Batch-epoch state: while a batch is open, membership changes
+        # set the dirty flag instead of advancing the epoch; the
+        # outermost end_batch() commits one advance for the whole group.
+        self._batch_depth = 0
+        self._batch_dirty = False
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_invalidations = 0
 
     @property
     def epoch(self) -> int:
-        """Mutation counter: advances only when the record set changes."""
+        """Mutation counter: advances only when the record set changes.
+
+        Inside an open batch the counter is deferred; reads mid-batch
+        see the last committed value (lookups commit it themselves so
+        they never serve stale results).
+        """
         return self._epoch
+
+    # ------------------------------------------------------------------
+    # Batched mutation epochs
+    # ------------------------------------------------------------------
+    def begin_batch(self) -> None:
+        """Open a batch: membership changes until :meth:`end_batch`
+        advance the epoch once, together, not once each.
+
+        Nests; only the outermost close commits. Use :meth:`batch` for
+        the context-manager form.
+        """
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        """Close a batch, committing one epoch advance if anything
+        inside it changed tree membership."""
+        if self._batch_depth == 0:
+            raise RuntimeError("end_batch() without begin_batch()")
+        self._batch_depth -= 1
+        if self._batch_depth == 0 and self._batch_dirty:
+            self._batch_dirty = False
+            self._epoch += 1
+
+    @contextmanager
+    def batch(self):
+        """Context manager wrapping :meth:`begin_batch`/:meth:`end_batch`."""
+        self.begin_batch()
+        try:
+            yield self
+        finally:
+            self.end_batch()
+
+    def _bump_epoch(self) -> None:
+        if self._batch_depth:
+            self._batch_dirty = True
+        else:
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     # Child search (hash vs linear, for the Section 5.1.1 ablation)
@@ -129,24 +195,27 @@ class NameTree:
 
         Refreshes take a fast path: the advertised name's canonical key
         is stored on the record at graft time, so detecting "same name
-        again" is a key comparison, not a GET-NAME reconstruction. A
-        pure refresh leaves the tree epoch (and therefore the lookup
+        again" is a key comparison, not a GET-NAME reconstruction — and
+        an equal key proves the name is the one already validated as
+        concrete at graft time, so the validation walk is skipped too.
+        A pure refresh leaves the tree epoch (and therefore the lookup
         memo) untouched.
         """
+        key = name.canonical_key()
+        existing = self._by_announcer.get(record.announcer)
+        if existing is not None and existing.advertised_key == key:
+            record.vspace = self.vspace
+            changed = not existing.same_payload(record)
+            existing.endpoints = list(record.endpoints)
+            existing.anycast_metric = record.anycast_metric
+            existing.route = record.route
+            existing.expires_at = record.expires_at
+            return InsertOutcome(existing, created=False, changed=changed)
         name.require_concrete()
         if name.is_empty:
             raise ValueError("cannot advertise an empty name-specifier")
         record.vspace = self.vspace
-        key = name.canonical_key()
-        existing = self._by_announcer.get(record.announcer)
         if existing is not None:
-            if existing.advertised_key == key:
-                changed = not existing.same_payload(record)
-                existing.endpoints = list(record.endpoints)
-                existing.anycast_metric = record.anycast_metric
-                existing.route = record.route
-                existing.expires_at = record.expires_at
-                return InsertOutcome(existing, created=False, changed=changed)
             self.remove(existing)
             self._graft(name, record, key)
             return InsertOutcome(record, created=False, changed=True)
@@ -159,18 +228,26 @@ class NameTree:
         for pair in name.roots:
             self._graft_pair(self._root, pair, record)
         self._by_announcer[record.announcer] = record
-        self._epoch += 1
+        self._bump_epoch()
 
     def _graft_pair(self, value_node: ValueNode, pair: AVPair, record: NameRecord) -> None:
-        attribute_node = value_node.ensure_child(pair.attribute)
-        child_value = attribute_node.ensure_child(pair.value)
-        if pair.is_leaf:
-            child_value.records.add(record)
-            record.attachments.append(child_value)
-            self._adjust_aggregates(child_value, record, +1)
-            return
-        for child_pair in pair.children:
-            self._graft_pair(child_value, child_pair, record)
+        # Explicit stack, pushed in reverse child order so leaves attach
+        # in exactly the pre-order the recursive formulation produced
+        # (attachment order feeds GET-NAME reconstruction order, which
+        # feeds update wire bytes: it must stay deterministic).
+        stack: List[Tuple[ValueNode, AVPair]] = [(value_node, pair)]
+        while stack:
+            parent_value, pair = stack.pop()
+            attribute_node = parent_value.ensure_child(pair.attribute)
+            child_value = attribute_node.ensure_child(pair.value)
+            children = pair._children
+            if not children:
+                child_value.records.add(record)
+                record.attachments.append(child_value)
+                self._adjust_aggregates(child_value, record, +1)
+            else:
+                for child_pair in list(children.values())[::-1]:
+                    stack.append((child_value, child_pair))
 
     @staticmethod
     def _adjust_aggregates(leaf: ValueNode, record: NameRecord, delta: int) -> None:
@@ -204,7 +281,7 @@ class NameTree:
             value_node.prune_upwards()
         record.attachments = []
         record.advertised_key = None
-        self._epoch += 1
+        self._bump_epoch()
         return True
 
     def remove_announcer(self, announcer: AnnouncerID) -> Optional[NameRecord]:
@@ -226,14 +303,22 @@ class NameTree:
         holds), but a refresh arriving inside the window re-admits the
         name as a fast-path update instead of a from-scratch rebuild —
         the partition-tolerant soft-state behavior.
+
+        A sweep that collects several records advances the epoch once
+        (it is one membership change from the memo's point of view).
         """
         expired = [
             record
             for record in self._by_announcer.values()
             if now - grace >= record.expires_at
         ]
-        for record in expired:
-            self.remove(record)
+        if expired:
+            self.begin_batch()
+            try:
+                for record in expired:
+                    self.remove(record)
+            finally:
+                self.end_batch()
         return expired
 
     def next_expiry(self) -> Optional[float]:
@@ -253,9 +338,15 @@ class NameTree:
         by the query's canonical key. Records are shared objects, so
         in-place refreshes (endpoints, metrics, expiry) are visible
         through memoized results without any invalidation.
+
+        A lookup inside an open batch commits the batch's pending epoch
+        advance first, so it always observes the mutations made so far.
         """
+        if self._batch_dirty:
+            self._batch_dirty = False
+            self._epoch += 1
         if not self._memoize:
-            return set(self._lookup(self._root, name.roots))
+            return set(self._lookup(self._root, name._roots.values()))
         if self._memo_epoch != self._epoch:
             if self._memo:
                 self._memo.clear()
@@ -268,61 +359,208 @@ class NameTree:
             self._memo.move_to_end(key)
             return set(cached)
         self.memo_misses += 1
-        result = set(self._lookup(self._root, name.roots))
+        result = self._lookup(self._root, name._roots.values())
         if len(self._memo) >= self._memo_capacity:
             self._memo.popitem(last=False)
-        self._memo[key] = frozenset(result)
-        return result
+        if result.__class__ is frozenset:
+            self._memo[key] = result
+            return set(result)
+        # ``result`` is a plain set: either one _lookup built (safe to
+        # hand out) or a leaf value-node's aliased records set (not
+        # safe). Memoize a frozen copy and return an owned copy rather
+        # than distinguishing the two.
+        self._memo[key] = frozen = frozenset(result)
+        return set(frozen)
 
-    def _lookup(self, tree_node: ValueNode, pairs: Tuple[AVPair, ...]) -> Set[NameRecord]:
-        # ``None`` stands for the universal set so we never materialize
-        # "all possible name-records" just to intersect it away.
-        candidates: Optional[Set[NameRecord]] = None
-        for pair in pairs:
-            attribute_node = self._find_attribute(tree_node, pair.attribute)
-            if attribute_node is None:
-                # No advertisement classifies this attribute here, so
-                # every one of them omitted it: no constraint (omitted
-                # attributes are wild-cards).
-                continue
-            matcher = classify_value(pair.value)
-            if matcher.is_multi:
-                # Wild-card or range: union the subtrees of every
-                # matching value. Av-pairs below a wild-card are
-                # ignored, exactly as the paper specifies.
-                selected: Set[NameRecord] = set()
-                for value, value_node in attribute_node.children.items():
-                    if matcher.matches(value):
-                        selected |= value_node.subtree_records()
-                candidates = self._intersect(candidates, selected)
-            else:
-                value_node = self._find_value(attribute_node, pair.value)
-                if value_node is None:
-                    candidates = set()
-                elif value_node.is_leaf or pair.is_leaf:
-                    candidates = self._intersect(
-                        candidates, value_node.subtree_records()
-                    )
+    _EMPTY: FrozenSet[NameRecord] = frozenset()
+
+    def _lookup(self, tree_node: ValueNode, pairs):
+        """Figure 5, iteratively: an explicit stack of frames replaces
+        recursion (a frame per query level), and subtree record sets
+        come from the epoch-keyed frozenset caches on value-nodes.
+
+        Candidate sets are never mutated in place, so the cached
+        frozensets flow through intersections unchanged and the common
+        single-constraint case costs zero copies. The returned set may
+        therefore BE one of those shared frozensets — ``lookup`` copies
+        before exposing a result the caller can own.
+
+        ``None`` candidates stand for the universal set so we never
+        materialize "all possible name-records" just to intersect it
+        away.
+        """
+        if self._linear:
+            return self._lookup_linear(tree_node, pairs)
+        epoch = self._epoch
+        empty = self._EMPTY
+        # Frame: [value_node, pair iterator, candidates]. The iterator
+        # doubles as the resume cursor after a child frame returns; a
+        # finished frame's result is merged straight into its parent's
+        # candidates slot when it pops. Early exit on an empty
+        # intersection happens where the emptiness arises — including
+        # exhausting the parent's iterator from the pop-merge — so the
+        # per-pair loop carries no emptiness re-check.
+        frames: List[list] = [[tree_node, iter(pairs), None]]
+        push = frames.append
+        while True:
+            frame = frames[-1]
+            node = frame[0]
+            pending = frame[1]
+            candidates = frame[2]
+            descend = False
+            for pair in pending:
+                attribute_node = node.children.get(pair.attribute)
+                if attribute_node is None:
+                    # No advertisement classifies this attribute here,
+                    # so every one of them omitted it: no constraint
+                    # (omitted attributes are wild-cards).
+                    continue
+                value = pair.value
+                if value != "*" and (not value or value[0] not in "<>"):
+                    # Literal value: hash straight to the value-node,
+                    # no matcher object.
+                    value_node = attribute_node.children.get(value)
+                    if value_node is None:
+                        candidates = empty
+                        break
+                    children = pair._children
+                    if not value_node.children or not children:
+                        # Query leaf or tree leaf: intersect with the
+                        # value-node's whole subtree (omitted attributes
+                        # are wild-cards).
+                        if value_node._sub_epoch == epoch:
+                            subtree = value_node._sub_fs
+                        else:
+                            subtree = value_node.subtree_frozen(epoch)
+                        if candidates is None:
+                            candidates = subtree
+                        else:
+                            candidates = candidates & subtree
+                            if not candidates:
+                                break
+                    else:
+                        frame[2] = candidates
+                        push([value_node, iter(children.values()), None])
+                        descend = True
+                        break
                 else:
-                    candidates = self._intersect(
-                        candidates, self._lookup(value_node, pair.children)
-                    )
-            if candidates is not None and not candidates:
-                break  # early exit: intersection can only stay empty
-        if candidates is None:
-            # No constraint applied at this level: everything below (and
-            # at) this node matches.
-            return tree_node.subtree_records()
-        return candidates | tree_node.records
+                    # Wild-card or range: union the subtrees of every
+                    # matching value. Av-pairs below a wild-card are
+                    # ignored, exactly as the paper specifies.
+                    matches = classify_value(value).matches
+                    selected: Set[NameRecord] = set()
+                    for advertised, value_node in attribute_node.children.items():
+                        if matches(advertised):
+                            if value_node._sub_epoch == epoch:
+                                selected |= value_node._sub_fs
+                            else:
+                                selected |= value_node.subtree_frozen(epoch)
+                    if candidates is None:
+                        candidates = selected
+                    else:
+                        candidates = candidates & selected
+                        if not candidates:
+                            break
+            if descend:
+                continue
+            if candidates is None:
+                # No constraint applied at this level: everything below
+                # (and at) this node matches.
+                if node._sub_epoch == epoch:
+                    returned = node._sub_fs
+                else:
+                    returned = node.subtree_frozen(epoch)
+            else:
+                records = node.records
+                if records:
+                    returned = candidates | records
+                else:
+                    returned = candidates
+            frames.pop()
+            if not frames:
+                return returned
+            parent = frames[-1]
+            parent_candidates = parent[2]
+            if parent_candidates is not None:
+                returned = parent_candidates & returned
+            parent[2] = returned
+            if not returned:
+                # Intersection can only stay empty: skip the parent's
+                # remaining pairs by exhausting its cursor.
+                parent[1] = _EXHAUSTED
 
-    @staticmethod
-    def _intersect(
-        current: Optional[Set[NameRecord]], addition: Set[NameRecord]
-    ) -> Set[NameRecord]:
-        if current is None:
-            return set(addition)
-        current &= addition
-        return current
+    def _lookup_linear(self, tree_node: ValueNode, pairs):
+        """The ``search="linear"`` ablation: the same iterative Figure 5
+        as :meth:`_lookup`, with dict scans in place of hash descent
+        (the Section 5.1.1 strawman). Not a hot path."""
+        epoch = self._epoch
+        empty = self._EMPTY
+        frames: List[list] = [[tree_node, iter(pairs), None]]
+        push = frames.append
+        while True:
+            frame = frames[-1]
+            node = frame[0]
+            pending = frame[1]
+            candidates = frame[2]
+            descend = False
+            for pair in pending:
+                if candidates is not None and not candidates:
+                    break  # early exit: intersection can only stay empty
+                attribute_node = None
+                for attribute, child in node.children.items():
+                    if attribute == pair.attribute:
+                        attribute_node = child
+                        break
+                if attribute_node is None:
+                    continue
+                value = pair.value
+                if value != "*" and (not value or value[0] not in "<>"):
+                    value_node = None
+                    for candidate, child in attribute_node.children.items():
+                        if candidate == value:
+                            value_node = child
+                            break
+                    if value_node is None:
+                        candidates = empty
+                        continue
+                    children = pair._children
+                    if not value_node.children or not children:
+                        subtree = value_node.subtree_frozen(epoch)
+                        if candidates is None:
+                            candidates = subtree
+                        else:
+                            candidates = candidates & subtree
+                    else:
+                        frame[2] = candidates
+                        push([value_node, iter(children.values()), None])
+                        descend = True
+                        break
+                else:
+                    matches = classify_value(value).matches
+                    selected: Set[NameRecord] = set()
+                    for advertised, value_node in attribute_node.children.items():
+                        if matches(advertised):
+                            selected |= value_node.subtree_frozen(epoch)
+                    if candidates is None:
+                        candidates = selected
+                    else:
+                        candidates = candidates & selected
+            if descend:
+                continue
+            if candidates is None:
+                returned = node.subtree_frozen(epoch)
+            else:
+                records = node.records
+                returned = candidates | records if records else candidates
+            frames.pop()
+            if not frames:
+                return returned
+            parent = frames[-1]
+            parent_candidates = parent[2]
+            if parent_candidates is None:
+                parent[2] = returned
+            else:
+                parent[2] = parent_candidates & returned
 
     # ------------------------------------------------------------------
     # GET-NAME (Figure 6)
@@ -351,18 +589,20 @@ class NameTree:
         fragment: Optional[AVPair],
         touched: List[ValueNode],
     ) -> None:
-        if value_node.ptr is not None:
-            # Something to graft onto: attach the fragment and stop.
+        # Iterative upward walk: the chain is as long as the name is
+        # deep, and deep names must reconstruct without recursion.
+        while value_node.ptr is None:
+            assert value_node.parent is not None, "root always has a PTR"
+            pair = AVPair(value_node.parent.attribute, value_node.value)
+            value_node.ptr = pair
+            touched.append(value_node)
             if fragment is not None:
-                self._graft_fragment(value_node, fragment)
-            return
-        assert value_node.parent is not None, "root always has a PTR"
-        pair = AVPair(value_node.parent.attribute, value_node.value)
-        value_node.ptr = pair
-        touched.append(value_node)
+                pair.add_child(fragment)
+            fragment = pair
+            value_node = value_node.parent.parent
+        # Something to graft onto: attach the fragment and stop.
         if fragment is not None:
-            pair.add_child(fragment)
-        self._trace(value_node.parent.parent, pair, touched)
+            self._graft_fragment(value_node, fragment)
 
     @staticmethod
     def _graft_fragment(value_node: ValueNode, fragment: AVPair) -> None:

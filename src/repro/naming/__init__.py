@@ -24,6 +24,7 @@ from .errors import (
     NameSyntaxError,
     NamingError,
     WildcardValueError,
+    WireFormatError,
 )
 from .operators import (
     WILDCARD,
@@ -32,6 +33,7 @@ from .operators import (
     ValueMatcher,
     WildcardMatcher,
     classify_value,
+    is_literal_value,
     is_operator_value,
     is_wildcard,
     parse_number,
@@ -60,7 +62,9 @@ __all__ = [
     "WildcardMatcher",
     "MAX_NAME_DEPTH",
     "WildcardValueError",
+    "WireFormatError",
     "classify_value",
+    "is_literal_value",
     "is_operator_value",
     "is_wildcard",
     "make_pair",

@@ -111,20 +111,44 @@ class AVPair:
         return not self._children
 
     def walk(self) -> Iterator["AVPair"]:
-        """Yield this pair and every descendant, pre-order."""
-        yield self
-        for child in self._children.values():
-            yield from child.walk()
+        """Yield this pair and every descendant, pre-order.
+
+        Iterative (explicit stack): names built programmatically can be
+        arbitrarily deep, and a nested-generator walk would hit the
+        interpreter recursion limit a few hundred levels down.
+        """
+        stack = [self]
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            pair = pop()
+            yield pair
+            children = pair._children
+            if children:
+                extend(list(children.values())[::-1])
 
     def depth(self) -> int:
         """Number of av-pair levels in the subtree rooted here (>= 1)."""
-        if not self._children:
-            return 1
-        return 1 + max(child.depth() for child in self._children.values())
+        deepest = 1
+        stack = [(self, 1)]
+        while stack:
+            pair, level = stack.pop()
+            if level > deepest:
+                deepest = level
+            below = level + 1
+            for child in pair._children.values():
+                stack.append((child, below))
+        return deepest
 
     def count(self) -> int:
         """Total number of av-pairs in the subtree rooted here."""
-        return sum(1 for _ in self.walk())
+        total = 0
+        stack = [self]
+        while stack:
+            pair = stack.pop()
+            total += 1
+            stack.extend(pair._children.values())
+        return total
 
     # ------------------------------------------------------------------
     # Structural equality and canonical ordering
@@ -138,14 +162,25 @@ class AVPair:
         comparisons — cost one attribute read instead of a tree walk.
         """
         cached = self._key_cache
-        if cached is None:
-            cached = (
-                self.attribute,
-                self.value,
-                tuple(sorted(c.canonical_key() for c in self._children.values())),
+        if cached is not None:
+            return cached
+        # Post-order over the uncached region: children's keys exist
+        # before their parent's is assembled, without Python recursion
+        # (deep programmatic names would otherwise blow the stack).
+        pending: list = [self]
+        order: list = []
+        while pending:
+            pair = pending.pop()
+            if pair._key_cache is None:
+                order.append(pair)
+                pending.extend(pair._children.values())
+        for pair in reversed(order):
+            pair._key_cache = (
+                pair.attribute,
+                pair.value,
+                tuple(sorted(c._key_cache for c in pair._children.values())),
             )
-            self._key_cache = cached
-        return cached
+        return self._key_cache
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, AVPair):
@@ -156,10 +191,15 @@ class AVPair:
         return hash(self.canonical_key())
 
     def copy(self) -> "AVPair":
-        """A deep copy of this subtree."""
+        """A deep copy of this subtree (iterative, depth-safe)."""
         duplicate = AVPair(self.attribute, self.value)
-        for child in self._children.values():
-            duplicate.add_child(child.copy())
+        stack = [(self, duplicate)]
+        while stack:
+            source, target = stack.pop()
+            for child in source._children.values():
+                twin = AVPair(child.attribute, child.value)
+                target.add_child(twin)
+                stack.append((child, twin))
         return duplicate
 
     def __repr__(self) -> str:

@@ -31,14 +31,25 @@ Layout (mode byte first)::
     0x02                                        -- registry mode
     node*    (as above, indexes into the shared registry)
     0x00 terminator
+
+Both directions are single-pass over flat buffers. The encoder walks
+the av-pair forest with an explicit stack (a ``None`` entry marks a
+pending LEAVE) and writes varints inline into one ``bytearray``; the
+decoder reads varints against a bounds-checked cursor and slices token
+bytes through a :class:`memoryview`, so no intermediate per-field
+objects are built. Every way a frame can be undecodable — truncation,
+a runaway varint, an out-of-range token index, unbalanced nesting,
+bytes after the terminator, tokens that are not legal name tokens —
+raises :class:`BinaryNameError`, a :class:`~.errors.WireFormatError`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .avpair import AVPair
-from .errors import NamingError
+from .errors import NamingError, WireFormatError
+from .parser import MAX_NAME_DEPTH
 from .specifier import NameSpecifier
 
 _ENTER = 0x01
@@ -49,7 +60,7 @@ _MODE_SELF_CONTAINED = 0x01
 _MODE_REGISTRY = 0x02
 
 
-class BinaryNameError(NamingError):
+class BinaryNameError(WireFormatError):
     """A compact-encoded name could not be decoded."""
 
 
@@ -92,21 +103,18 @@ class TokenRegistry:
 def _write_varint(out: bytearray, value: int) -> None:
     if value < 0:
         raise ValueError("varints are unsigned")
-    while True:
-        byte = value & 0x7F
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
         value >>= 7
-        if value:
-            out.append(byte | 0x80)
-        else:
-            out.append(byte)
-            return
+    out.append(value)
 
 
-def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
+def _read_varint(data, offset: int) -> Tuple[int, int]:
     result = 0
     shift = 0
+    size = len(data)
     while True:
-        if offset >= len(data):
+        if offset >= size:
             raise BinaryNameError("truncated varint")
         byte = data[offset]
         offset += 1
@@ -119,35 +127,54 @@ def _read_varint(data: bytes, offset: int) -> Tuple[int, int]:
 
 
 def encode_name(name: NameSpecifier, registry: "TokenRegistry" = None) -> bytes:
-    """Serialize ``name``; with a ``registry``, emit indexes only."""
+    """Serialize ``name``; with a ``registry``, emit indexes only.
+
+    Depth-safe for programmatically-built names of any depth: the tree
+    walk uses an explicit stack rather than recursion.
+    """
     if registry is not None:
-        intern = registry.intern
+        interned = registry._by_token
+        intern_new = registry.intern
+        # Registry mode carries no token table, so the mode byte can
+        # lead the single output buffer directly.
+        body = bytearray([_MODE_REGISTRY])
     else:
         table: Dict[str, int] = {}
+        interned = table
+        intern_new = None
+        body = bytearray()
+    append = body.append
 
-        def intern(token: str) -> int:
-            index = table.get(token)
-            if index is None:
-                index = len(table)
-                table[token] = index
-            return index
-
-    body = bytearray()
-
-    def walk(pair: AVPair) -> None:
-        body.append(_ENTER)
-        _write_varint(body, intern(pair.attribute))
-        _write_varint(body, intern(pair.value))
-        for child in pair.children:
-            walk(child)
-        body.append(_LEAVE)
-
-    for root in name.roots:
-        walk(root)
-    body.append(_END)
+    for root in name._roots.values():
+        # ``None`` marks a pending LEAVE for the pair pushed before it.
+        stack: List[Optional[AVPair]] = [root]
+        pop = stack.pop
+        while stack:
+            pair = pop()
+            if pair is None:
+                append(_LEAVE)
+                continue
+            append(_ENTER)
+            for token in (pair.attribute, pair.value):
+                index = interned.get(token)
+                if index is None:
+                    if intern_new is not None:
+                        index = intern_new(token)
+                    else:
+                        index = len(table)
+                        table[token] = index
+                while index > 0x7F:
+                    append((index & 0x7F) | 0x80)
+                    index >>= 7
+                append(index)
+            stack.append(None)
+            children = pair._children
+            if children:
+                stack.extend(list(children.values())[::-1])
+    append(_END)
 
     if registry is not None:
-        return bytes([_MODE_REGISTRY]) + bytes(body)
+        return bytes(body)
     out = bytearray([_MODE_SELF_CONTAINED])
     _write_varint(out, len(table))
     for token in table:  # dict preserves interning order
@@ -158,78 +185,133 @@ def encode_name(name: NameSpecifier, registry: "TokenRegistry" = None) -> bytes:
     return bytes(out)
 
 
-def decode_name(data: bytes, registry: "TokenRegistry" = None) -> NameSpecifier:
+def decode_name(
+    data,
+    registry: "TokenRegistry" = None,
+    max_depth: Optional[int] = MAX_NAME_DEPTH,
+) -> NameSpecifier:
     """Parse a name produced by :func:`encode_name`.
 
-    Registry-mode messages require the same ``registry`` the sender
-    used.
+    Accepts any bytes-like buffer (``bytes``, ``bytearray`` or a
+    ``memoryview`` over a larger frame) and never copies token bytes
+    before UTF-8 decoding. Registry-mode messages require the same
+    ``registry`` the sender used. ``max_depth`` bounds nesting exactly
+    like the text parser; pass ``None`` to lift the bound for trusted
+    deep names.
+
+    Raises :class:`BinaryNameError` — never a raw ``IndexError`` or
+    ``UnicodeDecodeError`` — for every malformed input, including
+    trailing bytes after the terminator.
     """
-    if not data:
+    size = len(data)
+    if not size:
         raise BinaryNameError("empty buffer")
     mode = data[0]
     offset = 1
     if mode == _MODE_REGISTRY:
         if registry is None:
             raise BinaryNameError("registry-mode name but no registry given")
-        token = registry.token
+        table = registry._by_index
     elif mode == _MODE_SELF_CONTAINED:
         count, offset = _read_varint(data, offset)
-        tokens: List[str] = []
+        # Each token costs at least one length byte, so a count beyond
+        # the remaining buffer is malformed regardless of contents.
+        if count > size - offset:
+            raise BinaryNameError("token table larger than message")
+        view = memoryview(data)
+        table = []
         for _ in range(count):
             length, offset = _read_varint(data, offset)
-            if offset + length > len(data):
+            end = offset + length
+            if end > size:
                 raise BinaryNameError("truncated token table")
             try:
-                tokens.append(data[offset:offset + length].decode("utf-8"))
+                table.append(str(view[offset:end], "utf-8"))
             except UnicodeDecodeError as error:
                 raise BinaryNameError(f"bad token bytes: {error}") from error
-            offset += length
-
-        def token(index: int) -> str:
-            if index >= len(tokens):
-                raise BinaryNameError(f"token index {index} out of range")
-            return tokens[index]
+            offset = end
     else:
         raise BinaryNameError(f"unknown encoding mode {mode:#x}")
 
+    table_size = len(table)
     name = NameSpecifier()
     stack: List[AVPair] = []
+    depth = 0
     while True:
-        if offset >= len(data):
+        if offset >= size:
             raise BinaryNameError("missing terminator")
         opcode = data[offset]
         offset += 1
-        if opcode == _END:
-            if stack:
-                raise BinaryNameError("unbalanced av-pair nesting")
-            if offset != len(data):
-                raise BinaryNameError("trailing bytes after terminator")
-            return name
         if opcode == _ENTER:
-            from .parser import MAX_NAME_DEPTH
-
-            if len(stack) >= MAX_NAME_DEPTH:
+            if max_depth is not None and depth >= max_depth:
                 raise BinaryNameError(
-                    f"name deeper than {MAX_NAME_DEPTH} levels"
+                    f"name deeper than {max_depth} levels"
                 )
-            attribute_index, offset = _read_varint(data, offset)
-            value_index, offset = _read_varint(data, offset)
-            pair = AVPair(token(attribute_index), token(value_index))
-            if stack:
-                stack[-1].add_child(pair)
-            else:
-                name.add_pair(pair)
+            # Inline bounds-checked varint reads: the node list is the
+            # hot region of every frame and per-field (value, offset)
+            # tuples from _read_varint would dominate the allocations.
+            attribute_index = 0
+            shift = 0
+            while True:
+                if offset >= size:
+                    raise BinaryNameError("truncated varint")
+                byte = data[offset]
+                offset += 1
+                attribute_index |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+                if shift > 35:
+                    raise BinaryNameError("varint too long")
+            value_index = 0
+            shift = 0
+            while True:
+                if offset >= size:
+                    raise BinaryNameError("truncated varint")
+                byte = data[offset]
+                offset += 1
+                value_index |= (byte & 0x7F) << shift
+                if byte < 0x80:
+                    break
+                shift += 7
+                if shift > 35:
+                    raise BinaryNameError("varint too long")
+            if attribute_index >= table_size or value_index >= table_size:
+                bad = max(attribute_index, value_index)
+                raise BinaryNameError(f"token index {bad} out of range")
+            try:
+                pair = AVPair(table[attribute_index], table[value_index])
+                if stack:
+                    stack[-1].add_child(pair)
+                else:
+                    name.add_pair(pair)
+            except NamingError as error:
+                # Reserved characters inside a token, or duplicate
+                # sibling attributes: the frame encodes an illegal name.
+                raise BinaryNameError(f"illegal name in frame: {error}") from error
             stack.append(pair)
+            depth += 1
         elif opcode == _LEAVE:
             if not stack:
                 raise BinaryNameError("unbalanced av-pair nesting")
             stack.pop()
+            depth -= 1
+        elif opcode == _END:
+            if stack:
+                raise BinaryNameError("unbalanced av-pair nesting")
+            if offset != size:
+                raise BinaryNameError("trailing bytes after terminator")
+            return name
         else:
             raise BinaryNameError(f"unknown opcode {opcode:#x}")
 
 
 def compression_ratio(name: NameSpecifier, registry: "TokenRegistry" = None) -> float:
-    """Binary size over string size; < 1 means the binary form wins."""
+    """Binary size over string size; < 1 means the binary form wins.
+
+    The empty name serializes to zero string bytes; its ratio is
+    defined as 1.0 (neither form wins) rather than dividing by zero.
+    """
     string_size = name.wire_size()
     if string_size == 0:
         return 1.0

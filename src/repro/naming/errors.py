@@ -47,3 +47,14 @@ class WildcardValueError(NamingError):
     Advertisements must describe concrete services, so ``*`` and range
     operators are only legal in queries.
     """
+
+
+class WireFormatError(NamingError):
+    """A binary-encoded name is truncated, malformed or oversized.
+
+    Everything a decoder can object to — a varint running past the
+    buffer, a token index outside the table, unbalanced nesting, bytes
+    after the terminator — raises this one type, so transport code can
+    treat "undecodable frame" as a single condition and drop it without
+    ever seeing a raw ``IndexError`` or ``UnicodeDecodeError``.
+    """

@@ -123,10 +123,26 @@ def is_wildcard(value: str) -> bool:
 
 
 def is_operator_value(value: str) -> bool:
-    """True if ``value`` is a wild-card or starts with a range operator."""
-    if is_wildcard(value):
+    """True if ``value`` is a wild-card or starts with a range operator.
+
+    Every range operator begins with ``<`` or ``>``, so one character
+    test suffices — this predicate runs once per av-pair on the
+    advertisement ingestion path and must stay allocation-free.
+    """
+    if value == WILDCARD:
         return True
-    return any(value.startswith(op) for op in _RANGE_OPERATORS)
+    return bool(value) and value[0] in "<>"
+
+
+def is_literal_value(value: str) -> bool:
+    """True when ``value`` selects exactly one advertised literal.
+
+    The complement of :func:`is_operator_value`; LOOKUP-NAME uses it to
+    take the hash-descent fast path without building a matcher object.
+    """
+    if value == WILDCARD:
+        return False
+    return not value or value[0] not in "<>"
 
 
 def classify_value(value: str) -> ValueMatcher:

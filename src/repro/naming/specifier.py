@@ -140,17 +140,29 @@ class NameSpecifier:
 
         Only concrete names may be advertised; operators belong in
         queries (Section 2.2 advertisements describe actual services).
+        Iterative, with the operator test inlined: this predicate runs
+        once per name on the advertisement ingestion path.
         """
-        return not any(is_operator_value(pair.value) for pair in self.walk())
+        stack = list(self._roots.values())
+        while stack:
+            pair = stack.pop()
+            value = pair.value
+            if value == "*" or (value and value[0] in "<>"):
+                return False
+            stack.extend(pair._children.values())
+        return True
 
     def require_concrete(self) -> "NameSpecifier":
         """Raise :class:`WildcardValueError` unless concrete; returns self."""
-        for pair in self.walk():
+        stack = list(self._roots.values())
+        while stack:
+            pair = stack.pop()
             if is_operator_value(pair.value):
                 raise WildcardValueError(
                     f"advertisement value {pair.value!r} for attribute "
                     f"{pair.attribute!r} is not a concrete literal"
                 )
+            stack.extend(pair._children.values())
         return self
 
     def vspaces(self) -> Tuple[str, ...]:
@@ -175,20 +187,41 @@ class NameSpecifier:
     # Wire format
     # ------------------------------------------------------------------
     def to_wire(self, pretty: bool = False) -> str:
-        """Serialize to the bracketed wire representation (Figure 3)."""
-        separator = " " if pretty else ""
-        return separator.join(
-            self._pair_to_wire(pair, pretty) for pair in self._roots.values()
-        )
+        """Serialize to the bracketed wire representation (Figure 3).
 
-    @classmethod
-    def _pair_to_wire(cls, pair: AVPair, pretty: bool) -> str:
+        Iterative token emission into one list joined at the end: no
+        per-subtree string concatenation (quadratic on deep names) and
+        no recursion (deep names would blow the stack). Wire bytes are
+        identical to the recursive formulation.
+        """
         eq = " = " if pretty else "="
-        inner = f"{pair.attribute}{eq}{pair.value}"
-        for child in pair.children:
-            child_text = cls._pair_to_wire(child, pretty)
-            inner += (" " + child_text) if pretty else child_text
-        return f"[{inner}]"
+        out: List[str] = []
+        append = out.append
+        first_root = True
+        # Stack items: an AVPair opens a bracket and schedules its
+        # children; the two string sentinels emit themselves.
+        for root in self._roots.values():
+            if pretty and not first_root:
+                append(" ")
+            first_root = False
+            stack: List[object] = [root]
+            pop = stack.pop
+            while stack:
+                item = pop()
+                if item.__class__ is str:
+                    append(item)
+                    continue
+                append(f"[{item.attribute}{eq}{item.value}")
+                stack.append("]")
+                children = item._children
+                if children:
+                    if pretty:
+                        for child in list(children.values())[::-1]:
+                            stack.append(child)
+                            stack.append(" ")
+                    else:
+                        stack.extend(list(children.values())[::-1])
+        return "".join(out)
 
     def wire_size(self) -> int:
         """Length in bytes of the compact wire representation."""

@@ -116,20 +116,38 @@ class Simulator:
         Service) never returns. Use ``until=`` / :meth:`run_for` there;
         plain ``run()`` is for event sets that naturally drain.
         """
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
-            if max_events is not None and fired >= max_events:
-                return
-            head = self._queue[0]
+        while queue:
+            head = queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                pop(queue)
                 continue
-            if until is not None and head.time > until:
-                self.now = max(self.now, until)
-                return
-            if not self.step():
+            batch_time = head.time
+            if until is not None and batch_time > until:
                 break
-            fired += 1
+            # Fire the whole same-timestamp batch in one inner loop: the
+            # clock is assigned once per distinct time and each event
+            # costs one heappop, not a step() call with its own re-peek.
+            # Callbacks that schedule new events at this same timestamp
+            # enqueue them with later sequence numbers, so the batch
+            # picks them up in deterministic (time, sequence) order.
+            self.now = batch_time
+            # Exact equality is the batching criterion: only events whose
+            # float timestamp is bit-identical share a clock assignment; a
+            # near-equal time is a later instant and starts its own batch.
+            while queue and queue[0].time == batch_time:  # lint: disable=no-float-time-eq -- identity batching, not a tolerance comparison
+                if max_events is not None and fired >= max_events:
+                    return
+                event = pop(queue)
+                if event.cancelled:
+                    continue
+                self._events_processed += 1
+                fired += 1
+                if self.event_hook is not None:
+                    self.event_hook(event)
+                event.callback(*event.args)
         if until is not None:
             self.now = max(self.now, until)
 

@@ -40,6 +40,12 @@ class TraceContext:
         """Serialize to the 24-byte wire form."""
         return _WIRE.pack(self.trace_id, self.span_id, self.parent_span_id)
 
+    def pack_into(self, buffer, offset: int = 0) -> None:
+        """Serialize in place at ``offset`` within a writable buffer."""
+        _WIRE.pack_into(
+            buffer, offset, self.trace_id, self.span_id, self.parent_span_id
+        )
+
     @classmethod
     def unpack(cls, data: bytes, offset: int = 0) -> "TraceContext":
         """Decode a context packed at ``offset`` within ``data``."""

@@ -922,14 +922,27 @@ class INR(Process):
         self.stats.update_names_processed += len(batch.updates)
         link_rtt = self.neighbors.rtt_to(batch.sender)
         changed: List[Tuple[str, NameSpecifier, NameRecord]] = []
-        for update in batch.updates:
-            tree = self.trees.get(update.vspace)
-            if tree is None:
-                continue
-            if self._apply_update(tree, update, batch.sender, link_rtt):
-                record = tree.record_for(update.announcer)
-                if record is not None:
-                    changed.append((update.vspace, update.name, record))
+        # One tree epoch per delivered batch, not per name: each touched
+        # tree's batch is opened lazily the first time an update lands in
+        # it (updates stay in arrival order — no regrouping by vspace)
+        # and closed once the whole batch has been applied, so N periodic
+        # refreshes invalidate lookup memo/subtree state at most once.
+        opened: Dict[str, NameTree] = {}
+        try:
+            for update in batch.updates:
+                tree = self.trees.get(update.vspace)
+                if tree is None:
+                    continue
+                if update.vspace not in opened:
+                    opened[update.vspace] = tree
+                    tree.begin_batch()
+                if self._apply_update(tree, update, batch.sender, link_rtt):
+                    record = tree.record_for(update.announcer)
+                    if record is not None:
+                        changed.append((update.vspace, update.name, record))
+        finally:
+            for tree in opened.values():
+                tree.end_batch()
         if changed:
             self._send_triggered(changed, exclude=batch.sender)
             self._custody_retry()

@@ -10,6 +10,7 @@ import json
 from repro.experiments.fig12 import (
     run_lookup_experiment,
     run_memo_ablation,
+    run_update_ingestion_bench,
     write_bench_lookup_json,
 )
 
@@ -49,7 +50,8 @@ class TestBenchLookupJson:
         on_disk = json.loads(path.read_text())
         assert on_disk == payload
         assert on_disk["benchmark"] == "fig12-lookup"
-        assert on_disk["schema_version"] == 1
+        assert on_disk["schema_version"] == 2
+        assert on_disk["update_ingestion"] is None
         assert on_disk["curve"][0]["names_in_tree"] == 100
         assert on_disk["curve"][0]["lookups_per_second"] > 0
         ab = on_disk["memo_ablation"]
@@ -72,4 +74,20 @@ class TestBenchLookupJson:
         path = tmp_path / "BENCH_lookup.json"
         payload = write_bench_lookup_json(path, curve)
         assert payload["memo_ablation"] is None
+        assert payload["update_ingestion"] is None
+        assert json.loads(path.read_text()) == payload
+
+    def test_emission_with_ingestion(self, tmp_path):
+        curve = run_lookup_experiment(name_counts=(100,), lookups_per_point=50)
+        ingestion = run_update_ingestion_bench(
+            names_in_tree=150, refresh_rounds=2
+        )
+        path = tmp_path / "BENCH_lookup.json"
+        payload = write_bench_lookup_json(path, curve, ingestion=ingestion)
+        block = payload["update_ingestion"]
+        assert block["names_in_tree"] == 150
+        assert block["updates_applied"] == 300
+        assert block["legacy_updates_per_second"] > 0
+        assert block["batched_updates_per_second"] > 0
+        assert block["speedup"] == ingestion.speedup
         assert json.loads(path.read_text()) == payload

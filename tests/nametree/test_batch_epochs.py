@@ -1,0 +1,164 @@
+"""Tests for batched mutation epochs (begin_batch/end_batch/batch).
+
+The INR ingests a whole periodic-update batch under one tree epoch:
+membership changes inside an open batch defer the epoch advance, and
+the outermost ``end_batch`` commits exactly one advance for the whole
+group. These tests pin the commit points — one advance per dirty
+batch, zero for clean or pure-refresh batches, lookups mid-batch
+committing early so they never serve stale results — and that the
+lookup memo is invalidated exactly when membership actually changed.
+"""
+
+import pytest
+
+from repro.nametree import AnnouncerID, Endpoint, NameRecord, NameTree
+
+from ..conftest import make_record, parse
+
+
+def _stable_record(host: str, port: int = 1) -> NameRecord:
+    """A record whose announcer identity is reproducible, so inserting
+    it again counts as a soft-state refresh."""
+    return NameRecord(
+        announcer=AnnouncerID.generate(host, startup_time=1.0),
+        endpoints=[Endpoint(host=host, port=port)],
+    )
+
+
+class TestEpochCommitPoints:
+    def test_batch_of_inserts_advances_epoch_once(self, tree):
+        before = tree.epoch
+        with tree.batch():
+            for index in range(10):
+                tree.insert(parse(f"[service=s{index}]"), make_record(f"h{index}"))
+        assert tree.epoch == before + 1
+
+    def test_unbatched_inserts_advance_epoch_each(self, tree):
+        before = tree.epoch
+        for index in range(10):
+            tree.insert(parse(f"[service=s{index}]"), make_record(f"h{index}"))
+        assert tree.epoch == before + 10
+
+    def test_clean_batch_is_free(self, tree):
+        tree.insert(parse("[service=camera]"), make_record("h1"))
+        before = tree.epoch
+        with tree.batch():
+            tree.lookup(parse("[service=camera]"))
+        assert tree.epoch == before
+
+    def test_pure_refresh_batch_keeps_epoch(self, tree):
+        tree.insert(parse("[service=camera]"), _stable_record("h1"))
+        before = tree.epoch
+        with tree.batch():
+            # Same announcer, same name: a soft-state refresh, not a
+            # membership change — even the batch's dirty flag stays off.
+            refreshed = _stable_record("h1", port=2)
+            tree.insert(parse("[service=camera]"), refreshed)
+        assert tree.epoch == before
+
+    def test_nested_batches_commit_at_outermost_close(self, tree):
+        before = tree.epoch
+        with tree.batch():
+            tree.insert(parse("[a=1]"), make_record("h1"))
+            with tree.batch():
+                tree.insert(parse("[a=2]"), make_record("h2"))
+            # Inner close must not commit while the outer is open.
+            assert tree.epoch == before
+        assert tree.epoch == before + 1
+
+    def test_batched_removes_advance_once(self, tree):
+        records = [make_record(f"h{index}") for index in range(5)]
+        for index, record in enumerate(records):
+            tree.insert(parse(f"[service=s{index}]"), record)
+        before = tree.epoch
+        with tree.batch():
+            for record in records:
+                assert tree.remove(record)
+        assert tree.epoch == before + 1
+        assert len(tree) == 0
+
+    def test_expire_sweep_is_one_epoch(self, tree):
+        for index in range(5):
+            tree.insert(
+                parse(f"[service=s{index}]"),
+                make_record(f"h{index}", expires_at=10.0),
+            )
+        before = tree.epoch
+        assert len(tree.expire(now=100.0)) == 5
+        assert tree.epoch == before + 1
+
+    def test_end_batch_without_begin_raises(self, tree):
+        with pytest.raises(RuntimeError):
+            tree.end_batch()
+
+    def test_batch_reraises_and_still_commits(self, tree):
+        before = tree.epoch
+        with pytest.raises(ValueError, match="boom"):
+            with tree.batch():
+                tree.insert(parse("[a=1]"), make_record("h1"))
+                raise ValueError("boom")
+        # The context manager closed the batch on the way out: the
+        # insert that did land is committed, not left pending.
+        assert tree.epoch == before + 1
+        assert len(tree.lookup(parse("[a=1]"))) == 1
+
+
+class TestMemoInteraction:
+    def test_dirty_batch_invalidates_memo_exactly_once(self, tree):
+        query = parse("[service=camera]")
+        tree.insert(parse("[service=camera]"), make_record("h0"))
+        tree.lookup(query)  # populate the memo
+        with tree.batch():
+            for index in range(1, 6):
+                tree.insert(parse("[service=camera]"), make_record(f"h{index}"))
+        invalidations = tree.memo_invalidations
+        assert len(tree.lookup(query)) == 6  # sees every batched insert
+        assert tree.memo_invalidations == invalidations + 1
+        # Re-querying at the new epoch is a hit again.
+        hits = tree.memo_hits
+        tree.lookup(query)
+        assert tree.memo_hits == hits + 1
+
+    def test_pure_refresh_batch_keeps_memo_warm(self, tree):
+        query = parse("[service=camera]")
+        tree.insert(parse("[service=camera]"), _stable_record("h1"))
+        first = tree.lookup(query)
+        with tree.batch():
+            tree.insert(parse("[service=camera]"), _stable_record("h1", port=7))
+        assert tree.memo_invalidations == 0
+        hits = tree.memo_hits
+        result = tree.lookup(query)
+        assert tree.memo_hits == hits + 1
+        assert result == first
+        # Refreshes mutate the shared record in place, so the memoized
+        # result already exposes the new endpoint.
+        (record,) = result
+        assert record.endpoints[0].port == 7
+
+    def test_lookup_mid_batch_commits_pending_epoch(self, tree):
+        query = parse("[service=camera]")
+        before = tree.epoch
+        with tree.batch():
+            tree.insert(parse("[service=camera]"), make_record("h1"))
+            # The lookup must observe the insert, which forces the
+            # pending advance to commit early...
+            assert len(tree.lookup(query)) == 1
+            assert tree.epoch == before + 1
+            # ...and later changes in the same batch re-dirty it.
+            tree.insert(parse("[service=camera]"), make_record("h2"))
+        assert tree.epoch == before + 2
+        assert len(tree.lookup(query)) == 2
+
+    def test_batched_equals_unbatched_results(self):
+        queries = [parse("[a=1]"), parse("[a=1[b=2]]"), parse("[a=*]")]
+        names = ["[a=1[b=1]]", "[a=1[b=2]]", "[a=2[b=2]]", "[a=1]"]
+        batched, unbatched = NameTree(), NameTree()
+        with batched.batch():
+            for index, text in enumerate(names):
+                batched.insert(parse(text), make_record(f"h{index}"))
+        for index, text in enumerate(names):
+            unbatched.insert(parse(text), make_record(f"h{index}"))
+        for query in queries:
+            left = {r.endpoints[0].host for r in batched.lookup(query)}
+            right = {r.endpoints[0].host for r in unbatched.lookup(query)}
+            assert left == right
