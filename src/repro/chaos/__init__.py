@@ -19,6 +19,16 @@ from .availability import (
     run_availability_scenario,
     write_bench_availability_json,
 )
+from .delegation import (
+    CRASH_PHASES,
+    CRASH_ROLES,
+    DelegationReport,
+    delegation_chaos_config,
+    run_delegation_ablation,
+    run_delegation_matrix,
+    run_delegation_scenario,
+    write_bench_delegation_json,
+)
 from .dtn import (
     DtnReport,
     dtn_chaos_config,
@@ -38,10 +48,13 @@ from .scenario import (
 )
 
 __all__ = [
+    "CRASH_PHASES",
+    "CRASH_ROLES",
     "FAULT_KINDS",
     "AvailabilityReport",
     "ChaosController",
     "ChaosReport",
+    "DelegationReport",
     "DtnReport",
     "FaultEvent",
     "FaultPlan",
@@ -50,14 +63,19 @@ __all__ = [
     "RecoveryRecord",
     "RecoveryTracker",
     "Violation",
+    "delegation_chaos_config",
     "dtn_chaos_config",
     "fast_chaos_config",
     "percentile",
     "run_availability_scenario",
     "run_chaos_scenario",
+    "run_delegation_ablation",
+    "run_delegation_matrix",
+    "run_delegation_scenario",
     "run_dtn_scenario",
     "run_dtn_sweep",
     "run_recovery_ablation",
     "write_bench_availability_json",
     "write_bench_dtn_json",
+    "write_bench_delegation_json",
 ]

@@ -1,0 +1,604 @@
+"""Delegation under fire: the two-phase vspace handoff vs crashes.
+
+The load balancer's cure for update overload (Section 2.5) is to
+delegate a virtual space to a freshly spawned INR. The handoff is the
+one moment the soft-state argument does not cover: records are in
+flight between two processes, and a crash on either side can leave the
+vspace with no authoritative resolver — or two. This scenario holds a
+resolver in sustained update overload so it *must* delegate, then
+crashes the donor or the recipient at a chosen phase of the handoff
+(offer, mid-transfer, await-commit, committed) and restarts it shortly
+after, while steady client lookups against the delegated vspace run
+throughout. Measured per run:
+
+- lookup success rate inside the handoff window (the dual-serving
+  guarantee: the donor answers until COMMIT lands);
+- name records lost after convergence (must be zero);
+- the delegation invariants: exactly one authoritative INR per vspace,
+  no handoff left in flight (:meth:`InvariantChecker
+  .single_vspace_authority`, :meth:`InvariantChecker
+  .delegations_settled`), plus the standard converged set.
+
+The crash is *phase-triggered*, not wall-scheduled: a fine-grained
+deterministic poller watches the donor's coordinator and fires the
+crash the instant the target phase is observed, so every run in the
+role x phase matrix actually exercises the transition it names (a
+pre-computed :class:`FaultPlan` cannot, because the handoff's start
+time depends on load-policy timing).
+
+:func:`run_delegation_ablation` runs the same recipient-crash plan
+with ``delegation_two_phase=False`` — the paper-era single-shot
+transfer — as a controlled ablation: the records are flung in one
+unacknowledged batch and the tree dropped, so the crash loses the
+vspace outright until the operator restarts the recipient and soft
+state refills it. ``BENCH_delegation.json`` records the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..experiments.domain import InsDomain
+from ..naming import NameSpecifier
+from ..obs import merge_counts
+from ..resolver import InrConfig
+from .availability import CHAOS_RETRY_POLICY
+from .invariants import InvariantChecker
+from .scenario import fast_chaos_config
+
+#: The handoff phases a seeded crash can target. The first three are
+#: donor-side state-machine phases; "committed" is the recipient-side
+#: window between adopting the tree and receiving the donor's echo.
+CRASH_PHASES: Tuple[str, ...] = (
+    "offer",
+    "transfer",
+    "await-commit",
+    "committed",
+)
+
+CRASH_ROLES: Tuple[str, ...] = ("donor", "recipient")
+
+#: The vspace the overloaded donor hands off, and the one it keeps.
+DELEGATED_VSPACE = "bulk"
+KEPT_VSPACE = "anchor"
+
+
+@dataclass
+class DelegationReport:
+    """What one delegation-under-fire run observed, end to end."""
+
+    seed: int
+    two_phase: bool
+    crash_role: Optional[str]
+    crash_phase: Optional[str]
+    #: virtual timestamps (-1.0 when the event never happened)
+    handoff_started_at: float
+    crash_at: float
+    restarted_at: float
+    #: aggregated resolver delegation counters (final incarnations)
+    delegations_started: int
+    delegations_committed: int
+    delegations_aborted: int
+    delegations_adopted: int
+    delegation_rollbacks: int
+    delegate_records_sent: int
+    delegate_records_received: int
+    delegate_stale_dropped: int
+    #: all lookup traffic over the run
+    requests_attempted: int
+    requests_succeeded: int
+    success_rate: float
+    #: lookups issued inside the handoff window — the dual-serving
+    #: guarantee is measured here
+    window_requests: int
+    window_succeeded: int
+    window_success_rate: float
+    #: delegated-vspace records missing after convergence (must be 0
+    #: with the two-phase protocol; the ablation's headline loss)
+    lost_records: int
+    #: live resolvers routing the delegated vspace after convergence
+    authority: Tuple[str, ...]
+    always_violations: Tuple[str, ...]
+    converged_violations: Tuple[str, ...]
+    invariant_samples: int
+    sim_time: float
+
+    def fingerprint(self) -> Tuple:
+        """Deterministic digest: same seed + parameters ⇒ identical."""
+        return (
+            self.seed,
+            self.two_phase,
+            self.crash_role,
+            self.crash_phase,
+            round(self.handoff_started_at, 6),
+            round(self.crash_at, 6),
+            round(self.restarted_at, 6),
+            self.delegations_started,
+            self.delegations_committed,
+            self.delegations_aborted,
+            self.delegations_adopted,
+            self.delegation_rollbacks,
+            self.delegate_records_sent,
+            self.delegate_records_received,
+            self.delegate_stale_dropped,
+            self.requests_attempted,
+            self.requests_succeeded,
+            round(self.success_rate, 6),
+            self.window_requests,
+            self.window_succeeded,
+            round(self.window_success_rate, 6),
+            self.lost_records,
+            self.authority,
+            self.always_violations,
+            self.converged_violations,
+            self.invariant_samples,
+            round(self.sim_time, 6),
+        )
+
+
+def delegation_chaos_config(two_phase: bool = True) -> InrConfig:
+    """Fast chaos clocks plus the load-balancing and handoff knobs.
+
+    The delegate threshold sits well under the sustained advertisement
+    rate the scenario generates, so the donor is in genuine update
+    overload the whole run; the spawn threshold is parked out of reach
+    so the delegation path is exercised in isolation. Handoff timers
+    are scaled to the fast clocks, and the chunk size forces a
+    multi-chunk transfer so mid-transfer crashes have a mid-transfer
+    to hit.
+    """
+    config = fast_chaos_config()
+    return replace(
+        config,
+        enable_load_balancing=True,
+        spawn_lookup_rate=1e9,
+        delegate_update_rate=30.0,
+        terminate_lookup_rate=5.0,
+        load_check_interval=0.5,
+        minimum_lifetime=2.0,
+        delegation_two_phase=two_phase,
+        delegation_offer_timeout=0.3,
+        delegation_ack_timeout=0.3,
+        delegation_commit_timeout=0.3,
+        delegation_max_retries=3,
+        delegation_chunk_names=8,
+        delegation_retry_cooldown=1.0,
+    )
+
+
+class _HandoffWatch:
+    """Deterministic fine-grained poller: detects the handoff start,
+    fires the seeded crash at the target phase, and schedules the
+    restart. Polls every millisecond of virtual time until the crash
+    has fired, which is cheap in the event simulator and catches even
+    RTT-short phases like OFFER."""
+
+    POLL = 0.001
+
+    def __init__(
+        self,
+        domain: InsDomain,
+        donor,
+        two_phase: bool,
+        crash_role: Optional[str],
+        crash_phase: Optional[str],
+        restart_after: Optional[float],
+    ) -> None:
+        self.domain = domain
+        self.donor = donor
+        self.two_phase = two_phase
+        self.crash_role = crash_role
+        self.crash_phase = crash_phase
+        self.restart_after = restart_after
+        self.handoff_started_at: Optional[float] = None
+        self.recipient_address: Optional[str] = None
+        self.crash_at: Optional[float] = None
+        self.restarted_at: Optional[float] = None
+        self._victim = None
+        self._running = True
+        domain.sim.schedule(self.POLL, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- polling -------------------------------------------------------
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._observe()
+        done_crashing = self.crash_role is None or self.crash_at is not None
+        if self.handoff_started_at is not None and done_crashing:
+            return  # nothing left to detect; stop burning events
+        self.domain.sim.schedule(self.POLL, self._tick)
+
+    def _observe(self) -> None:
+        now = self.domain.sim.now
+        donor = self.donor
+        if self.two_phase:
+            handoff = None if donor.terminated else donor.delegation.donor
+            if handoff is not None:
+                if self.handoff_started_at is None:
+                    self.handoff_started_at = now
+                self.recipient_address = handoff.recipient
+        elif self.handoff_started_at is None and not donor.terminated:
+            if DELEGATED_VSPACE not in donor.trees:
+                # Single-shot ablation: the tree is already gone; the
+                # one unacked batch is on the wire right now.
+                self.handoff_started_at = now
+                self.recipient_address = next(
+                    (
+                        inr.address
+                        for inr in self.domain.inrs
+                        if inr.was_spawned
+                    ),
+                    None,
+                )
+        if self.crash_role is None or self.crash_at is not None:
+            return
+        if self._phase_reached():
+            self._fire_crash(now)
+
+    def _phase_reached(self) -> bool:
+        if not self.two_phase:
+            return self.handoff_started_at is not None
+        handoff = None if self.donor.terminated else self.donor.delegation.donor
+        if self.crash_phase == "committed":
+            recipient = self._recipient()
+            if recipient is None or recipient.terminated:
+                return False
+            return any(
+                h.phase == "committed"
+                for h in recipient.delegation.recipients.values()
+            )
+        if handoff is None:
+            return False
+        if self.crash_phase == "offer":
+            return handoff.phase == "offer"
+        if self.crash_phase == "transfer":
+            return handoff.phase == "transfer" and handoff.chunks_acked >= 1
+        if self.crash_phase == "await-commit":
+            return handoff.phase == "await-commit"
+        return False
+
+    def _recipient(self):
+        if self.recipient_address is None:
+            return None
+        return self.domain.inr_at(self.recipient_address)
+
+    # -- crash / restart -----------------------------------------------
+    def _fire_crash(self, now: float) -> None:
+        victim = self.donor if self.crash_role == "donor" else self._recipient()
+        if victim is None or victim.terminated:
+            return
+        victim.crash()
+        self._victim = victim
+        self.crash_at = now
+        if self.restart_after is not None:
+            self.domain.sim.schedule(self.restart_after, self._restart)
+
+    def _restart(self) -> None:
+        victim = self._victim
+        if victim is not None and victim.terminated:
+            victim.restart()
+            self.restarted_at = self.domain.sim.now
+
+
+def run_delegation_scenario(
+    seed: int = 0,
+    two_phase: bool = True,
+    crash_role: Optional[str] = None,
+    crash_phase: Optional[str] = None,
+    restart_after: Optional[float] = 1.5,
+    n_bulk: int = 24,
+    n_anchor: int = 6,
+    service_refresh: float = 0.5,
+    lookup_interval: float = 0.1,
+    n_clients: int = 2,
+    traffic: float = 14.0,
+    window: float = 6.0,
+    config: Optional[InrConfig] = None,
+    observe: bool = False,
+) -> DelegationReport:
+    """One delegation-under-fire run.
+
+    Topology: a relay resolver (``inr-base``) that clients attach to,
+    and a donor (``inr-donor``) routing two vspaces — a small anchor
+    space it keeps and a large bulk space whose sustained advertisement
+    stream pushes it over the delegate threshold. Two spare candidate
+    nodes give the donor somewhere to hand off to, with one left over
+    so an aborted handoff can retry onto fresh hardware while the
+    abandoned recipient drains back into the pool.
+
+    ``crash_role``/``crash_phase`` seed one crash at the named phase of
+    the first handoff (see :data:`CRASH_PHASES`); the crashed process
+    restarts ``restart_after`` virtual seconds later — within the
+    recipient's COMMIT-retransmission budget, so the two-generals
+    reconciliation paths are actually exercised. ``None``/``None`` is
+    the fault-free baseline.
+
+    ``observe=True`` attaches an :class:`repro.obs.ObsCollector`; it
+    rides on the returned report as ``report.collector`` (a plain
+    attribute — not part of the dataclass or the fingerprint).
+    """
+    config = config or delegation_chaos_config(two_phase)
+    domain = InsDomain(
+        seed=seed,
+        config=config,
+        dsr_registration_lifetime=3.0 * config.heartbeat_interval,
+        dsr_sweep_interval=max(0.25, config.heartbeat_interval / 2.0),
+    )
+    collector = domain.observe() if observe else None
+    base = domain.add_inr(address="inr-base")
+    donor = domain.add_inr(
+        address="inr-donor", vspaces=(KEPT_VSPACE, DELEGATED_VSPACE)
+    )
+    for index in range(2):
+        domain.add_candidate(f"spare-{index}")
+    for index in range(n_anchor):
+        domain.add_service(
+            f"[service=anchor[id=a{index}]][vspace={KEPT_VSPACE}]",
+            resolver=donor,
+            refresh_interval=service_refresh,
+            lifetime=config.record_lifetime,
+        )
+    for index in range(n_bulk):
+        domain.add_service(
+            f"[service=bulk[id=n{index}]][vspace={DELEGATED_VSPACE}]",
+            resolver=donor,
+            refresh_interval=service_refresh,
+            lifetime=config.record_lifetime,
+        )
+    clients = [
+        domain.add_client(resolver=base, retry_policy=CHAOS_RETRY_POLICY)
+        for _ in range(n_clients)
+    ]
+
+    checker = InvariantChecker(domain).install(0.5)
+    watch = _HandoffWatch(
+        domain, donor, two_phase, crash_role, crash_phase, restart_after
+    )
+
+    # ------------------------------------------------------------------
+    # Steady lookup traffic against the vspace being handed off,
+    # scheduled up front (deterministic). Lookups start before the
+    # overload trips the delegation, so the handoff window always has
+    # traffic inside it.
+    # ------------------------------------------------------------------
+    query = NameSpecifier.parse(
+        f"[service=bulk][vspace={DELEGATED_VSPACE}]"
+    )
+    samples: List[dict] = []
+
+    def issue(client_index: int) -> None:
+        client = clients[client_index]
+        sample = {"issued_at": domain.sim.now, "reply": None}
+        samples.append(sample)
+        try:
+            sample["reply"] = client.resolve_early(query)
+        except RuntimeError:
+            return  # mid-failover with no resolver selected
+
+    start = domain.sim.now
+    for client_index in range(n_clients):
+        t = 0.1 + (client_index / max(n_clients, 1)) * lookup_interval
+        while t < traffic:
+            domain.sim.at(start + t, issue, client_index)
+            t += lookup_interval
+
+    domain.run(traffic)
+    watch.stop()
+    # Drain in-flight retries, then run out the convergence bound so
+    # the post-fault invariants are meaningful.
+    domain.run(CHAOS_RETRY_POLICY.deadline + 1.0)
+    domain.run(checker.convergence_bound())
+    checker.uninstall()
+
+    converged = (
+        checker.check_converged()
+        + checker.single_vspace_authority((KEPT_VSPACE, DELEGATED_VSPACE))
+        + checker.delegations_settled()
+    )
+
+    # ------------------------------------------------------------------
+    # Tally lookups, overall and inside the handoff window.
+    # ------------------------------------------------------------------
+    def succeeded(sample: dict) -> bool:
+        reply = sample["reply"]
+        return reply is not None and reply.done and bool(reply.value)
+
+    attempted = len(samples)
+    ok = sum(1 for sample in samples if succeeded(sample))
+    window_start = watch.handoff_started_at
+    if window_start is None:
+        in_window: List[dict] = []
+    else:
+        in_window = [
+            sample
+            for sample in samples
+            if window_start <= sample["issued_at"] <= window_start + window
+        ]
+    window_ok = sum(1 for sample in in_window if succeeded(sample))
+
+    # ------------------------------------------------------------------
+    # Record loss: every live bulk service's announcer must be present
+    # in some live resolver's bulk tree after convergence.
+    # ------------------------------------------------------------------
+    expected = checker._expected_names().get(DELEGATED_VSPACE, set())
+    present = set()
+    for inr in domain.live_inrs:
+        tree = inr.trees.get(DELEGATED_VSPACE)
+        if tree is None:
+            continue
+        present |= {
+            record.announcer
+            for record in tree.records()
+            if not record.is_expired(domain.sim.now)
+        }
+    lost = len(expected - present)
+    authority = tuple(
+        sorted(
+            inr.address
+            for inr in domain.live_inrs
+            if inr.routes_vspace(DELEGATED_VSPACE)
+        )
+    )
+
+    inr_totals = merge_counts(inr.stats.snapshot() for inr in domain.inrs)
+
+    def stamp(value: Optional[float]) -> float:
+        return -1.0 if value is None else value
+
+    report = DelegationReport(
+        seed=seed,
+        two_phase=two_phase,
+        crash_role=crash_role,
+        crash_phase=crash_phase,
+        handoff_started_at=stamp(watch.handoff_started_at),
+        crash_at=stamp(watch.crash_at),
+        restarted_at=stamp(watch.restarted_at),
+        delegations_started=int(inr_totals.get("delegations_started", 0)),
+        delegations_committed=int(inr_totals.get("delegations_committed", 0)),
+        delegations_aborted=int(inr_totals.get("delegations_aborted", 0)),
+        delegations_adopted=int(inr_totals.get("delegations_adopted", 0)),
+        delegation_rollbacks=int(inr_totals.get("delegation_rollbacks", 0)),
+        delegate_records_sent=int(inr_totals.get("delegate_records_sent", 0)),
+        delegate_records_received=int(
+            inr_totals.get("delegate_records_received", 0)
+        ),
+        delegate_stale_dropped=int(
+            inr_totals.get("delegate_stale_dropped", 0)
+        ),
+        requests_attempted=attempted,
+        requests_succeeded=ok,
+        success_rate=ok / attempted if attempted else 0.0,
+        window_requests=len(in_window),
+        window_succeeded=window_ok,
+        window_success_rate=window_ok / len(in_window) if in_window else 0.0,
+        lost_records=lost,
+        authority=authority,
+        always_violations=tuple(
+            violation.invariant for violation in checker.violations
+        ),
+        converged_violations=tuple(
+            violation.invariant for violation in converged
+        ),
+        invariant_samples=checker.samples_taken,
+        sim_time=domain.now,
+    )
+    if collector is not None:
+        domain.harvest()
+        report.collector = collector
+    return report
+
+
+def run_delegation_matrix(
+    seed: int = 0,
+    restart_after: float = 1.5,
+    observe_baseline: bool = False,
+    **kwargs,
+) -> List[DelegationReport]:
+    """The full crash matrix: a fault-free baseline plus one run per
+    (role, phase) combination — donor and recipient each crashed at
+    every handoff phase. Every run must converge to exactly one
+    authoritative resolver per vspace with zero lost records; the
+    benchmark and the CI smoke job assert exactly that."""
+    reports = [
+        run_delegation_scenario(
+            seed=seed, two_phase=True, observe=observe_baseline, **kwargs
+        )
+    ]
+    for role in CRASH_ROLES:
+        for phase in CRASH_PHASES:
+            reports.append(
+                run_delegation_scenario(
+                    seed=seed,
+                    two_phase=True,
+                    crash_role=role,
+                    crash_phase=phase,
+                    restart_after=restart_after,
+                    **kwargs,
+                )
+            )
+    return reports
+
+
+def run_delegation_ablation(
+    seed: int = 0, restart_after: Optional[float] = None, **kwargs
+) -> Dict[str, DelegationReport]:
+    """The controlled ablation ``BENCH_delegation.json`` leads with:
+    the same recipient crash, with no operator intervention (the
+    crashed process is never restarted), against both transfer modes.
+
+    Two-phase: the donor's chunk acks time out, it aborts, keeps its
+    tree — it never stopped serving it — and retries onto the spare
+    candidate; nothing is lost and no human touched anything. Single
+    shot: the records were flung in one unacknowledged batch and the
+    tree dropped, so the crash orphans the vspace permanently — every
+    record is lost, lookups collapse, and the single-authority
+    invariant is violated at convergence. (A prompt operator restart
+    plus client retries can mask the single-shot loss, which is why
+    the ablation defaults to none.)"""
+    return {
+        "two_phase": run_delegation_scenario(
+            seed=seed,
+            two_phase=True,
+            crash_role="recipient",
+            crash_phase="transfer",
+            restart_after=restart_after,
+            **kwargs,
+        ),
+        "ablated": run_delegation_scenario(
+            seed=seed,
+            two_phase=False,
+            crash_role="recipient",
+            crash_phase="post-transfer",
+            restart_after=restart_after,
+            **kwargs,
+        ),
+    }
+
+
+def write_bench_delegation_json(
+    path: Union[str, Path],
+    matrix: Sequence[DelegationReport],
+    ablation: Dict[str, DelegationReport],
+) -> dict:
+    """Emit ``BENCH_delegation.json``: the crash matrix and the
+    two-phase vs single-shot ablation. Returns the payload.
+
+    A report carrying a collector (an ``observe=True`` run) contributes
+    an ``observability`` section — drop attribution and per-hop span
+    percentiles for the traced run.
+    """
+    observability = {}
+    matrix_rows = []
+    for report in matrix:
+        matrix_rows.append(asdict(report))
+        collector = getattr(report, "collector", None)
+        if collector is not None:
+            label = f"{report.crash_role or 'baseline'}:{report.crash_phase or '-'}"
+            observability[label] = collector.observability_payload()
+    on = ablation["two_phase"]
+    off = ablation["ablated"]
+    payload = {
+        "benchmark": "delegation-chaos",
+        "schema_version": 1,
+        "matrix": matrix_rows,
+        "ablation": {
+            "two_phase": asdict(on),
+            "ablated": asdict(off),
+            "window_success_delta": round(
+                on.window_success_rate - off.window_success_rate, 6
+            ),
+            "lost_records_delta": off.lost_records - on.lost_records,
+        },
+    }
+    if observability:
+        payload["observability"] = observability
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload

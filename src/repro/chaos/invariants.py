@@ -303,6 +303,90 @@ class InvariantChecker:
         return violations
 
     # ------------------------------------------------------------------
+    # Delegation (crash-safe vspace handoff, PROTOCOL.md §11)
+    # ------------------------------------------------------------------
+    def single_vspace_authority(
+        self, vspaces: Tuple[str, ...]
+    ) -> List[Violation]:
+        """Each named vspace has exactly one live authoritative INR,
+        and the DSR's map agrees with the resolvers' own view.
+
+        This is the delegation protocol's core safety property: a
+        handoff must never leave a vspace with zero authorities (names
+        lost) or two (split brain), no matter which side crashed at
+        which phase. It is *not* part of :meth:`check_converged`
+        because lookup-overload spawning legitimately replicates a
+        vspace across resolvers — the delegation chaos scenario, which
+        disables that path, calls this directly."""
+        violations = []
+        live = self._live_inrs()
+        for vspace in sorted(vspaces):
+            owners = sorted(
+                inr.address for inr in live if inr.routes_vspace(vspace)
+            )
+            if len(owners) != 1:
+                violations.append(
+                    Violation(
+                        time=self.domain.sim.now,
+                        invariant="single-vspace-authority",
+                        detail=(
+                            f"vspace {vspace!r} has {len(owners)} live "
+                            f"authorities {owners}; expected exactly one"
+                        ),
+                    )
+                )
+            dsr_view = self.domain.dsr.resolvers_for(vspace)
+            if list(dsr_view) != owners:
+                violations.append(
+                    Violation(
+                        time=self.domain.sim.now,
+                        invariant="single-vspace-authority",
+                        detail=(
+                            f"DSR maps vspace {vspace!r} to {list(dsr_view)} "
+                            f"but the live authorities are {owners}"
+                        ),
+                    )
+                )
+        return violations
+
+    def delegations_settled(self) -> List[Violation]:
+        """No live resolver still has a handoff in flight: every
+        delegation either committed or aborted. A donor or recipient
+        pinned in an unfinished handoff after the convergence bound is
+        a liveness bug — it blocks both retries and self-termination."""
+        violations = []
+        for inr in sorted(self._live_inrs(), key=lambda i: i.address):
+            coordinator = getattr(inr, "delegation", None)
+            if coordinator is None:
+                continue
+            donor = coordinator.donor
+            if donor is not None:
+                violations.append(
+                    Violation(
+                        time=self.domain.sim.now,
+                        invariant="delegations-settled",
+                        detail=(
+                            f"{inr.address} still donating handoff "
+                            f"{donor.handoff_id:#x} ({donor.vspace!r}, "
+                            f"phase {donor.phase})"
+                        ),
+                    )
+                )
+            for handoff in coordinator.recipients.values():
+                violations.append(
+                    Violation(
+                        time=self.domain.sim.now,
+                        invariant="delegations-settled",
+                        detail=(
+                            f"{inr.address} still receiving handoff "
+                            f"{handoff.handoff_id:#x} ({handoff.vspace!r}, "
+                            f"phase {handoff.phase})"
+                        ),
+                    )
+                )
+        return violations
+
+    # ------------------------------------------------------------------
     # Name-tree eventual consistency
     # ------------------------------------------------------------------
     def _expected_names(self) -> Dict[str, Set]:

@@ -48,6 +48,24 @@ DEFAULT_PROFILES: Dict[str, Profile] = {
         name="dtn",
         rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
     ),
+    # Delegation handoffs are decided by fenced ids and virtual-time
+    # retransmission deadlines replayed across crash/restart; a wall
+    # clock read anywhere in the protocol, its wire codecs, or the
+    # chaos harness that fences it would desynchronize the two sides'
+    # timers and break the seeded crash matrix, so the ban is pinned
+    # per module like obs's and dtn's.
+    "src/repro/resolver/delegation.py": Profile(
+        name="delegation",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
+    ),
+    "src/repro/message/delegation.py": Profile(
+        name="delegation",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
+    ),
+    "src/repro/chaos/delegation.py": Profile(
+        name="delegation",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
+    ),
     "examples": Profile(name="examples"),
     # Tests exercise internals across layers (the layering DAG governs
     # the package, not its tests) and deliberately assert *exact*

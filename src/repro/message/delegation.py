@@ -1,0 +1,466 @@
+"""DELEGATE-*: the two-phase vspace handoff wire protocol.
+
+Wire definitions for crash-safe virtual-space delegation (PROTOCOL.md
+§11). The paper's §2.5 cure for update overload — handing a virtual
+space to a freshly spawned INR — becomes a two-phase handoff here:
+OFFER → ACCEPT → TRANSFER* → COMMIT, with ABORT on timeout or crash.
+Like the DSR and custody messages, these are wire-layer types: the
+resolver speaks them and the chaos harness inspects them, so they live
+in ``message`` below both.
+
+Every message carries a **handoff id**: a 32-bit fence composed of the
+donor's restart incarnation (high 16 bits) and a per-incarnation
+sequence number (low 16 bits). Ids are strictly monotonic per donor
+*across crashes*, which is what makes the fencing sound: a recipient
+remembers the outcome of every settled handoff id and the next id it
+will accept, so a stale retransmission — a duplicate OFFER after an
+abort, a delayed TRANSFER after a commit — can never resurrect a
+completed or aborted handoff (it is answered with the settled outcome,
+or dropped and counted).
+
+Unlike the other control dataclasses, these messages have a real byte
+codec (``encode()`` / :func:`decode_delegation`): the handoff moves
+whole name-trees between processes that may crash mid-stream, so the
+frames are built to be fuzzed — every way a frame can be undecodable
+raises :class:`DelegationWireError`, a :class:`ValueError`, never an
+IndexError/KeyError/struct.error escaping to the event loop. Name
+specifiers travel in the compact binary form (``naming.binary``,
+footnote 2).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..naming import NameSpecifier
+from ..naming.binary import decode_name, encode_name
+
+#: Framing overhead accounted by ``wire_size`` for the fixed header.
+BASE_OVERHEAD = 28
+
+#: Protocol version emitted by this implementation.
+DELEGATION_VERSION = 1
+
+#: First byte of every delegation frame.
+_MAGIC = 0xD6
+
+_KIND_OFFER = 1
+_KIND_ACCEPT = 2
+_KIND_TRANSFER = 3
+_KIND_COMMIT = 4
+_KIND_ABORT = 5
+
+#: magic u8, kind u8, version u8, reserved u8, handoff_id u32.
+_FIXED = struct.Struct("!BBBBI")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_I32 = struct.Struct("!i")
+_F64 = struct.Struct("!d")
+
+#: Hard cap on records per TRANSFER frame; a decoded count beyond this
+#: is a malformed frame, not a huge allocation.
+MAX_RECORDS_PER_TRANSFER = 4096
+_MAX_ENDPOINTS = 255
+
+#: ACCEPT's ``ack_seq`` when it acknowledges the OFFER itself (no
+#: TRANSFER chunk has been received yet).
+OFFER_ACCEPTED = -1
+
+
+class DelegationWireError(ValueError):
+    """A delegation frame is malformed or inconsistent."""
+
+
+def compose_handoff_id(incarnation: int, sequence: int) -> int:
+    """Build the 32-bit fence: restart incarnation << 16 | sequence.
+
+    Monotonic per donor even across crashes — a restarted donor's first
+    handoff id is strictly greater than anything its previous
+    incarnation ever issued, so a recipient's fence never confuses the
+    two.
+    """
+    if not 0 <= incarnation <= 0xFFFF:
+        raise DelegationWireError(f"incarnation out of range: {incarnation}")
+    if not 0 <= sequence <= 0xFFFF:
+        raise DelegationWireError(f"sequence out of range: {sequence}")
+    return (incarnation << 16) | sequence
+
+
+# ----------------------------------------------------------------------
+# Encode/decode primitives (bounds-checked cursor over a memoryview)
+# ----------------------------------------------------------------------
+def _write_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise DelegationWireError(f"string too long for frame: {len(data)}")
+    out += _U16.pack(len(data))
+    out += data
+
+
+def _read(data, offset: int, count: int) -> int:
+    """Bounds check: ``count`` bytes must exist at ``offset``."""
+    if offset + count > len(data):
+        raise DelegationWireError(
+            f"frame truncated: need {count} bytes at {offset}, "
+            f"have {len(data) - offset}"
+        )
+    return offset + count
+
+
+def _read_str(data, offset: int) -> Tuple[str, int]:
+    end = _read(data, offset, _U16.size)
+    (length,) = _U16.unpack_from(data, offset)
+    end = _read(data, end, length)
+    try:
+        text = bytes(data[end - length:end]).decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise DelegationWireError(f"bad utf-8 in frame: {error}") from error
+    return text, end
+
+
+def _read_f64(data, offset: int) -> Tuple[float, int]:
+    end = _read(data, offset, _F64.size)
+    (value,) = _F64.unpack_from(data, offset)
+    return value, end
+
+
+# ----------------------------------------------------------------------
+# The transferred record
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DelegateRecord:
+    """One name-record inside a TRANSFER frame.
+
+    Carries everything the recipient needs to install the name in its
+    staging tree: the compact-encoded specifier, the announcer
+    identity, the early-binding endpoints, both metrics, and the
+    *remaining* soft-state lifetime (seconds) — the handoff must not
+    grant a record more life than the donor would have.
+    """
+
+    name: NameSpecifier
+    announcer_host: str
+    announcer_startup: float
+    endpoints: Tuple[Tuple[str, int, str], ...]  # (host, port, transport)
+    anycast_metric: float
+    route_metric: float
+    lifetime: float
+
+    def encode_into(self, out: bytearray) -> None:
+        blob = encode_name(self.name)
+        out += _U32.pack(len(blob))
+        out += blob
+        _write_str(out, self.announcer_host)
+        out += _F64.pack(self.announcer_startup)
+        if len(self.endpoints) > _MAX_ENDPOINTS:
+            raise DelegationWireError(
+                f"too many endpoints: {len(self.endpoints)}"
+            )
+        out.append(len(self.endpoints))
+        for host, port, transport in self.endpoints:
+            _write_str(out, host)
+            out += _U16.pack(port)
+            _write_str(out, transport)
+        out += _F64.pack(self.anycast_metric)
+        out += _F64.pack(self.route_metric)
+        out += _F64.pack(self.lifetime)
+
+    @classmethod
+    def decode_from(cls, data, offset: int) -> Tuple["DelegateRecord", int]:
+        end = _read(data, offset, _U32.size)
+        (blob_length,) = _U32.unpack_from(data, offset)
+        end = _read(data, end, blob_length)
+        try:
+            name = decode_name(bytes(data[end - blob_length:end]))
+        except ValueError as error:  # BinaryNameError and kin
+            raise DelegationWireError(f"bad name blob: {error}") from error
+        host, end = _read_str(data, end)
+        startup, end = _read_f64(data, end)
+        endpoint_end = _read(data, end, 1)
+        endpoint_count = data[end]
+        end = endpoint_end
+        endpoints = []
+        for _ in range(endpoint_count):
+            endpoint_host, end = _read_str(data, end)
+            port_end = _read(data, end, _U16.size)
+            (port,) = _U16.unpack_from(data, end)
+            end = port_end
+            transport, end = _read_str(data, end)
+            endpoints.append((endpoint_host, port, transport))
+        anycast_metric, end = _read_f64(data, end)
+        route_metric, end = _read_f64(data, end)
+        lifetime, end = _read_f64(data, end)
+        return (
+            cls(
+                name=name,
+                announcer_host=host,
+                announcer_startup=startup,
+                endpoints=tuple(endpoints),
+                anycast_metric=anycast_metric,
+                route_metric=route_metric,
+                lifetime=lifetime,
+            ),
+            end,
+        )
+
+
+# ----------------------------------------------------------------------
+# The five handoff messages
+# ----------------------------------------------------------------------
+def _encode_fixed(kind: int, handoff_id: int) -> bytearray:
+    if not 0 <= handoff_id <= 0xFFFFFFFF:
+        raise DelegationWireError(f"handoff id out of range: {handoff_id}")
+    return bytearray(_FIXED.pack(_MAGIC, kind, DELEGATION_VERSION, 0, handoff_id))
+
+
+class _DelegationMessage:
+    """Shared surface: ``encode()`` plus the ``wire_size`` hook the
+    simulated network uses to charge transmission time."""
+
+    def encode(self) -> bytes:
+        raise NotImplementedError
+
+    def wire_size(self) -> int:
+        return BASE_OVERHEAD + len(self.encode()) - _FIXED.size
+
+
+@dataclass(frozen=True)
+class DelegateOffer(_DelegationMessage):
+    """Donor → recipient: propose taking over ``vspace``.
+
+    ``total_records`` sizes the transfer up front so the recipient can
+    refuse an offer it cannot hold before any state moves.
+    """
+
+    sender: str
+    handoff_id: int
+    vspace: str
+    total_records: int
+
+    def encode(self) -> bytes:
+        out = _encode_fixed(_KIND_OFFER, self.handoff_id)
+        _write_str(out, self.sender)
+        _write_str(out, self.vspace)
+        out += _U32.pack(self.total_records)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(cls, data, offset: int, handoff_id: int) -> "DelegateOffer":
+        sender, offset = _read_str(data, offset)
+        vspace, offset = _read_str(data, offset)
+        end = _read(data, offset, _U32.size)
+        (total,) = _U32.unpack_from(data, offset)
+        _expect_end(data, end)
+        return cls(sender=sender, handoff_id=handoff_id, vspace=vspace,
+                   total_records=total)
+
+
+@dataclass(frozen=True)
+class DelegateAccept(_DelegationMessage):
+    """Recipient → donor: accept the offer, or acknowledge a chunk.
+
+    ``ack_seq`` is :data:`OFFER_ACCEPTED` (-1) when accepting the OFFER
+    itself, else the sequence number of the highest TRANSFER chunk
+    applied — the donor's stop-and-wait transfer advances on it.
+    """
+
+    sender: str
+    handoff_id: int
+    ack_seq: int = OFFER_ACCEPTED
+
+    def encode(self) -> bytes:
+        out = _encode_fixed(_KIND_ACCEPT, self.handoff_id)
+        _write_str(out, self.sender)
+        out += _I32.pack(self.ack_seq)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(cls, data, offset: int, handoff_id: int) -> "DelegateAccept":
+        sender, offset = _read_str(data, offset)
+        end = _read(data, offset, _I32.size)
+        (ack_seq,) = _I32.unpack_from(data, offset)
+        _expect_end(data, end)
+        return cls(sender=sender, handoff_id=handoff_id, ack_seq=ack_seq)
+
+
+@dataclass(frozen=True)
+class DelegateTransfer(_DelegationMessage):
+    """Donor → recipient: one stop-and-wait chunk of name-records.
+
+    ``seq`` starts at 0 and increments per chunk; ``final`` marks the
+    last chunk, after which the recipient adopts the vspace and sends
+    COMMIT. A chunk whose ``seq`` was already applied is re-acked and
+    otherwise ignored (duplicate), and one beyond the expected sequence
+    is dropped — the donor never sends chunk n+1 before n is acked.
+    """
+
+    sender: str
+    handoff_id: int
+    vspace: str
+    seq: int
+    final: bool
+    records: Tuple[DelegateRecord, ...]
+
+    def encode(self) -> bytes:
+        out = _encode_fixed(_KIND_TRANSFER, self.handoff_id)
+        _write_str(out, self.sender)
+        _write_str(out, self.vspace)
+        out += _U32.pack(self.seq)
+        out.append(1 if self.final else 0)
+        if len(self.records) > MAX_RECORDS_PER_TRANSFER:
+            raise DelegationWireError(
+                f"too many records in one transfer: {len(self.records)}"
+            )
+        out += _U16.pack(len(self.records))
+        for record in self.records:
+            record.encode_into(out)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(cls, data, offset: int, handoff_id: int) -> "DelegateTransfer":
+        sender, offset = _read_str(data, offset)
+        vspace, offset = _read_str(data, offset)
+        end = _read(data, offset, _U32.size)
+        (seq,) = _U32.unpack_from(data, offset)
+        offset = end
+        end = _read(data, offset, 1)
+        final_flag = data[offset]
+        if final_flag not in (0, 1):
+            raise DelegationWireError(f"bad final flag: {final_flag}")
+        offset = end
+        end = _read(data, offset, _U16.size)
+        (count,) = _U16.unpack_from(data, offset)
+        if count > MAX_RECORDS_PER_TRANSFER:
+            raise DelegationWireError(f"record count too large: {count}")
+        offset = end
+        records = []
+        for _ in range(count):
+            record, offset = DelegateRecord.decode_from(data, offset)
+            records.append(record)
+        _expect_end(data, offset)
+        return cls(
+            sender=sender,
+            handoff_id=handoff_id,
+            vspace=vspace,
+            seq=seq,
+            final=bool(final_flag),
+            records=tuple(records),
+        )
+
+
+@dataclass(frozen=True)
+class DelegateCommit(_DelegationMessage):
+    """Recipient → donor: the vspace is adopted; donor may let go.
+
+    Also sent donor → recipient as the commit echo that stops the
+    recipient's COMMIT retransmission — the direction is disambiguated
+    by which side holds state for the handoff id. ``vspace`` rides
+    along so a donor that crashed after finalizing (and so remembers
+    nothing about the id) can still answer a retransmitted COMMIT
+    idempotently: not routing the vspace ⇒ echo, routing it ⇒ abort.
+    """
+
+    sender: str
+    handoff_id: int
+    vspace: str
+
+    def encode(self) -> bytes:
+        out = _encode_fixed(_KIND_COMMIT, self.handoff_id)
+        _write_str(out, self.sender)
+        _write_str(out, self.vspace)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(cls, data, offset: int, handoff_id: int) -> "DelegateCommit":
+        sender, offset = _read_str(data, offset)
+        vspace, offset = _read_str(data, offset)
+        _expect_end(data, offset)
+        return cls(sender=sender, handoff_id=handoff_id, vspace=vspace)
+
+
+@dataclass(frozen=True)
+class DelegateAbort(_DelegationMessage):
+    """Either direction: the handoff is dead; roll back to the donor.
+
+    An ABORT for a handoff the recipient already committed triggers
+    rollback (un-adopt): the donor only ever sends ABORT for an id it
+    never finalized, so donor authority is always safe to restore —
+    this is how the donor-crashed-before-COMMIT race converges to
+    exactly one authoritative resolver.
+    """
+
+    sender: str
+    handoff_id: int
+    vspace: str
+    reason: str
+
+    def encode(self) -> bytes:
+        out = _encode_fixed(_KIND_ABORT, self.handoff_id)
+        _write_str(out, self.sender)
+        _write_str(out, self.vspace)
+        _write_str(out, self.reason)
+        return bytes(out)
+
+    @classmethod
+    def _decode_body(cls, data, offset: int, handoff_id: int) -> "DelegateAbort":
+        sender, offset = _read_str(data, offset)
+        vspace, offset = _read_str(data, offset)
+        reason, offset = _read_str(data, offset)
+        _expect_end(data, offset)
+        return cls(sender=sender, handoff_id=handoff_id, vspace=vspace,
+                   reason=reason)
+
+
+def _expect_end(data, offset: int) -> None:
+    if offset != len(data):
+        raise DelegationWireError(
+            f"{len(data) - offset} trailing byte(s) after frame"
+        )
+
+
+_DECODERS = {
+    _KIND_OFFER: DelegateOffer,
+    _KIND_ACCEPT: DelegateAccept,
+    _KIND_TRANSFER: DelegateTransfer,
+    _KIND_COMMIT: DelegateCommit,
+    _KIND_ABORT: DelegateAbort,
+}
+
+
+def decode_delegation(data):
+    """Decode any delegation frame; every malformation raises
+    :class:`DelegationWireError` (a ValueError)."""
+    view = memoryview(data) if not isinstance(data, memoryview) else data
+    if len(view) < _FIXED.size:
+        raise DelegationWireError(
+            f"frame too short for header: {len(view)} < {_FIXED.size}"
+        )
+    magic, kind, version, reserved, handoff_id = _FIXED.unpack_from(view)
+    if magic != _MAGIC:
+        raise DelegationWireError(f"bad magic byte: {magic:#x}")
+    if version != DELEGATION_VERSION:
+        raise DelegationWireError(f"unsupported delegation version {version}")
+    if reserved != 0:
+        raise DelegationWireError(f"reserved byte must be zero, got {reserved}")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise DelegationWireError(f"unknown delegation kind {kind}")
+    return decoder._decode_body(view, _FIXED.size, handoff_id)
+
+
+__all__ = [
+    "DELEGATION_VERSION",
+    "DelegateAbort",
+    "DelegateAccept",
+    "DelegateCommit",
+    "DelegateOffer",
+    "DelegateRecord",
+    "DelegateTransfer",
+    "DelegationWireError",
+    "MAX_RECORDS_PER_TRANSFER",
+    "OFFER_ACCEPTED",
+    "compose_handoff_id",
+    "decode_delegation",
+]

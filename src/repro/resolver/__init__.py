@@ -3,6 +3,7 @@
 from .cache import CacheEntry, PacketCache
 from .config import InrConfig
 from .costs import DEFAULT_COSTS, CostModel
+from .delegation import DelegationCoordinator, DonorHandoff, RecipientHandoff
 from .inr import INR, InrStats
 from .loadbalance import LoadMonitor, LoadSample
 from .neighbors import Neighbor, NeighborTable
@@ -38,6 +39,8 @@ __all__ = [
     "INR_PORT",
     "InrConfig",
     "InrStats",
+    "DelegationCoordinator",
+    "DonorHandoff",
     "LoadMonitor",
     "LoadSample",
     "NameUpdate",
@@ -51,6 +54,7 @@ __all__ = [
     "PingResponse",
     "PortAllocator",
     "Pushback",
+    "RecipientHandoff",
     "ResolutionRequest",
     "ResolutionResponse",
     "UpdateBatch",

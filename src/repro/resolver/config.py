@@ -58,6 +58,55 @@ class InrConfig:
     #: A freshly spawned INR will not self-terminate before this age.
     minimum_lifetime: float = 30.0
 
+    #: --- Load hysteresis (flap damping for Section 2.5 decisions) ----
+    #: EWMA smoothing factor applied to the load rates the policy
+    #: compares against its thresholds. 1.0 (the default) disables
+    #: smoothing: each window's raw rate is used directly, the paper's
+    #: implied behavior.
+    load_ewma_alpha: float = 1.0
+
+    #: Consecutive over-threshold samples required before an overload
+    #: action (spawn or delegate) fires. 1 = act on the first signal.
+    overload_consecutive_samples: int = 1
+
+    #: Consecutive under-threshold samples required before a spawned
+    #: INR considers self-termination.
+    underload_consecutive_samples: int = 1
+
+    #: Minimum seconds between load-policy actions (spawn, delegate or
+    #: termination check) — a cooldown so one hot window cannot trigger
+    #: a burst of spawns. 0 disables.
+    load_action_cooldown: float = 0.0
+
+    #: --- Crash-safe vspace delegation (PROTOCOL.md §11) --------------
+    #: Use the two-phase OFFER/ACCEPT/TRANSFER/COMMIT handoff when
+    #: delegating a vspace. False falls back to the single-shot
+    #: transfer (the ablation: no crash safety, no dual serving).
+    delegation_two_phase: bool = True
+
+    #: Seconds the donor waits for the offer to be accepted before
+    #: retransmitting it.
+    delegation_offer_timeout: float = 1.0
+
+    #: Seconds the donor waits for a transfer chunk's cumulative ack.
+    delegation_ack_timeout: float = 1.0
+
+    #: Seconds either side waits on the COMMIT exchange (the donor for
+    #: the recipient's COMMIT, the recipient for the donor's echo)
+    #: before retransmitting.
+    delegation_commit_timeout: float = 1.0
+
+    #: Retransmissions allowed per handoff phase before the donor
+    #: aborts and keeps the vspace.
+    delegation_max_retries: int = 3
+
+    #: Name-records per DELEGATE-TRANSFER chunk (stop-and-wait).
+    delegation_chunk_names: int = 32
+
+    #: Seconds after an aborted handoff before the donor will claim a
+    #: fresh candidate and retry (idempotently, under a new id).
+    delegation_retry_cooldown: float = 5.0
+
     #: --- Overlay relaxation (extension; Section 2.4 future work) -----
     #: Periodically re-evaluate the parent peering and switch to a
     #: lower-RTT earlier-ordered INR when the improvement is large.

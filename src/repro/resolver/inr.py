@@ -29,6 +29,11 @@ from ..message import (
     Binding,
     CustodyRecord,
     CustodyTransfer,
+    DelegateAbort,
+    DelegateAccept,
+    DelegateCommit,
+    DelegateOffer,
+    DelegateTransfer,
     Delivery,
     InsMessage,
 )
@@ -51,6 +56,7 @@ from ..message.dsr import (
 from .cache import PacketCache
 from .config import InrConfig
 from .costs import DEFAULT_COSTS, CostModel
+from .delegation import DelegationCoordinator
 from .loadbalance import LoadMonitor
 from .neighbors import NeighborTable
 from .ports import DSR_PORT, INR_PORT
@@ -148,6 +154,26 @@ class InrStats:
     #: arrived at a resolver that runs no custody store
     drops_custody_transfer_failed: int = 0
 
+    #: --- Crash-safe vspace delegation (two-phase handoff) ------------
+    #: handoffs this resolver initiated as donor
+    delegations_started: int = 0
+    #: handoffs that committed (donor side: the vspace left)
+    delegations_committed: int = 0
+    #: handoffs the donor aborted (timeout, crash, termination)
+    delegations_aborted: int = 0
+    #: vspaces this resolver adopted as recipient
+    delegations_adopted: int = 0
+    #: adoptions rolled back by an abort-after-commit (donor crashed
+    #: before finalizing; abort wins)
+    delegation_rollbacks: int = 0
+    #: name-records sent in DELEGATE-TRANSFER chunks
+    delegate_records_sent: int = 0
+    #: name-records received in DELEGATE-TRANSFER chunks
+    delegate_records_received: int = 0
+    #: fenced delegation frames (stale retransmissions) dropped —
+    #: control-plane drops, deliberately not in ``packets_dropped``
+    delegate_stale_dropped: int = 0
+
     @property
     def packets_dropped(self) -> int:
         """Total packets dropped, across every cause."""
@@ -231,8 +257,18 @@ class INR(Process):
         self.restarts = 0
         self.trees: Dict[str, NameTree] = {v: NameTree(vspace=v) for v in vspaces}
         self.neighbors = NeighborTable()
-        self.monitor = LoadMonitor()
+        self.monitor = LoadMonitor(ewma_alpha=self.config.load_ewma_alpha)
         self.stats = InrStats()
+        #: Two-phase vspace handoff state machines (PROTOCOL.md §11).
+        self.delegation = DelegationCoordinator(self)
+        #: Finalized delegation facts preserved across a crash, like
+        #: the custody snapshot (re-adopted in restart()).
+        self._delegation_snapshot: tuple = ()
+        # Load-hysteresis state (defaults make it transparent).
+        self._last_load_action = float("-inf")
+        self._overload_lookup_streak = 0
+        self._overload_update_streak = 0
+        self._underload_streak = 0
         #: Observability hook: a ``repro.obs.Tracer`` when the domain is
         #: being observed, None otherwise. Every instrumentation site
         #: guards on it so tracing costs nothing when off.
@@ -309,6 +345,10 @@ class INR(Process):
         """Leave the overlay: tell peers and the DSR, then stop."""
         if self._terminated:
             return
+        # A retiring donor must not leave its recipient staging chunks
+        # that will never arrive: abort the in-flight handoff first
+        # (the flag flips after, so the abort message still sends).
+        self.delegation.shutdown()
         self._terminated = True
         if self.custody is not None and len(self.custody):
             # Held payloads must not die with their custodian: hand
@@ -337,6 +377,10 @@ class INR(Process):
             # accepted responsibility for survive its process and are
             # re-adopted when the operator restarts it.
             self._custody_snapshot = self.custody.snapshot()
+        # Finalized delegation facts are stable storage too: which
+        # vspaces left and which were adopted survive the process.
+        # In-flight handoffs do NOT — the protocol aborts them.
+        self._delegation_snapshot = self.delegation.crash_snapshot()
         self.stop()
 
     def restart(self) -> None:
@@ -360,8 +404,17 @@ class INR(Process):
         self.restarts += 1
         self.trees = {v: NameTree(vspace=v) for v in self._initial_vspaces}
         self.neighbors = NeighborTable()
-        self.monitor = LoadMonitor()
+        # The monitor's window starts NOW, not at t=0: a default-
+        # constructed LoadMonitor would stretch the first post-restart
+        # window back to the epoch, diluting (or faking) a load signal.
+        self.monitor = LoadMonitor(
+            now=self.now, ewma_alpha=self.config.load_ewma_alpha
+        )
         self.stats = InrStats()
+        self._last_load_action = float("-inf")
+        self._overload_lookup_streak = 0
+        self._overload_update_streak = 0
+        self._underload_streak = 0
         # self.tracer survives a restart on purpose: the collector
         # observing the run outlives any one process incarnation.
         self.cache = (
@@ -396,6 +449,13 @@ class INR(Process):
                 set_timer=self.set_timer,
                 retransmit_timeout=self.config.reliable_retransmit_timeout,
             )
+        # Fresh handoff state machines (in-flight handoffs died with the
+        # process), then re-apply the finalized facts: delegated-away
+        # vspaces leave the rebuilt tree set again, adopted ones come
+        # back as empty trees that soft state refills.
+        self.delegation = DelegationCoordinator(self)
+        self.delegation.adopt_snapshot(self._delegation_snapshot)
+        self._delegation_snapshot = ()
         self.node.bind(self.port, self)
         if self.custody is not None and self._custody_snapshot:
             # Re-adopt the crash snapshot, preserving each payload's
@@ -442,6 +502,9 @@ class INR(Process):
         if isinstance(payload, NameWithdraw):
             return costs.receive + costs.update_per_name
         if isinstance(payload, CustodyTransfer):
+            return costs.receive + costs.update_per_name * len(payload.records)
+        if isinstance(payload, DelegateTransfer):
+            # A handoff chunk costs what installing its names costs.
             return costs.receive + costs.update_per_name * len(payload.records)
         if isinstance(payload, Advertisement):
             return costs.receive + costs.update_per_name
@@ -574,6 +637,17 @@ class INR(Process):
             return
         if isinstance(payload, NameWithdraw):
             self._handle_withdraw(payload, source)
+        elif isinstance(
+            payload,
+            (
+                DelegateOffer,
+                DelegateAccept,
+                DelegateTransfer,
+                DelegateCommit,
+                DelegateAbort,
+            ),
+        ):
+            self.delegation.on_message(payload, source)
         elif isinstance(payload, CustodyTransfer):
             self._handle_custody_transfer(payload)
         elif isinstance(payload, UpdateBatch):
@@ -1641,23 +1715,55 @@ class INR(Process):
     # Load balancing (Section 2.5)
     # ------------------------------------------------------------------
     def _check_load(self) -> None:
+        """Section 2.5 policy with hysteresis: decisions compare the
+        (optionally EWMA-smoothed) rates against the thresholds, fire
+        only after the configured number of consecutive signals, and
+        respect a cooldown between actions — with the defaults
+        (alpha=1, streak=1, cooldown=0) this is exactly the raw
+        act-on-first-signal behavior."""
         sample = self.monitor.sample(self.now)
         if self.spawner is None or self._spawn_pending:
             return
         config = self.config
-        if sample.lookups_per_second > config.spawn_lookup_rate:
-            self._claim_candidate(purpose="spawn")
-        elif (
-            sample.update_names_per_second > config.delegate_update_rate
+        if self.now - self._last_load_action < config.load_action_cooldown:
+            return
+        if sample.ewma_lookups_per_second > config.spawn_lookup_rate:
+            self._overload_lookup_streak += 1
+            self._overload_update_streak = 0
+            self._underload_streak = 0
+            if self._overload_lookup_streak >= config.overload_consecutive_samples:
+                self._overload_lookup_streak = 0
+                self._last_load_action = self.now
+                self._claim_candidate(purpose="spawn")
+            return
+        self._overload_lookup_streak = 0
+        if (
+            sample.ewma_update_names_per_second > config.delegate_update_rate
             and len(self.trees) > 1
         ):
-            self._claim_candidate(purpose="delegate")
-        elif (
+            self._overload_update_streak += 1
+            self._underload_streak = 0
+            if self._overload_update_streak >= config.overload_consecutive_samples:
+                if self.delegation.busy or not self.delegation.can_start(self.now):
+                    return  # one handoff at a time; cooldown after aborts
+                self._overload_update_streak = 0
+                self._last_load_action = self.now
+                self._claim_candidate(purpose="delegate")
+            return
+        self._overload_update_streak = 0
+        if (
             self.was_spawned
-            and sample.lookups_per_second < config.terminate_lookup_rate
+            and sample.ewma_lookups_per_second < config.terminate_lookup_rate
             and self.now - self._started_at > config.minimum_lifetime
         ):
-            self._consider_termination()
+            self._underload_streak += 1
+            if self._underload_streak >= config.underload_consecutive_samples:
+                if self.delegation.busy:
+                    return  # never retire mid-handoff (either role)
+                self._underload_streak = 0
+                self._consider_termination()
+        else:
+            self._underload_streak = 0
 
     def _consider_termination(self) -> None:
         """Self-terminate only if every vspace this INR routes is also
@@ -1665,6 +1771,12 @@ class INR(Process):
         must stay up however idle it is."""
         if self._termination_votes is not None:
             return  # a check is already in flight
+        if not self.trees:
+            # A spawned recipient whose handoff aborted routes nothing
+            # and serves nobody: retire immediately (terminate() puts
+            # the node back in the candidate pool for the retry).
+            self.terminate()
+            return
         self._termination_votes = {vspace: None for vspace in self.trees}
         for vspace in self.trees:
             self.send(
@@ -1708,11 +1820,21 @@ class INR(Process):
             # Lookup overload: replicate this INR's vspaces on the
             # candidate; clients re-selecting a default INR spread out.
             self.spawner(response.candidate, self.vspaces)
+        elif self.config.delegation_two_phase:
+            self.delegation.begin(response.candidate)
         else:
             self._delegate_vspace(response.candidate)
 
     def _delegate_vspace(self, candidate: str) -> None:
-        """Hand the busiest vspace to a fresh INR on ``candidate``."""
+        """Hand the busiest vspace to a fresh INR on ``candidate``.
+
+        The single-shot legacy path (``delegation_two_phase=False``):
+        spawn, fling one update batch, drop the tree. No offer, no
+        acks, no commit — a crash on either side mid-handoff loses the
+        vspace's names until services re-advertise, and can leave the
+        space with no authoritative resolver. Kept as the ablation the
+        delegation chaos scenario measures against.
+        """
         if len(self.trees) <= 1:
             return
         vspace = max(self.trees, key=lambda v: len(self.trees[v]))

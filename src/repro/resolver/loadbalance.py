@@ -16,24 +16,39 @@ The paper identifies two distinct overload modes with different cures:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 
 @dataclass
 class LoadSample:
-    """Rates observed over one measurement window."""
+    """Rates observed over one measurement window.
+
+    The ``ewma_*`` fields are exponentially smoothed versions of the
+    raw rates, maintained across samples by the monitor; with the
+    default ``ewma_alpha=1.0`` they equal the raw rates exactly, so
+    smoothing is strictly opt-in hysteresis (flap damping for the
+    spawn/delegate/terminate decisions).
+    """
 
     window: float
     lookups_per_second: float
     update_names_per_second: float
+    ewma_lookups_per_second: float = 0.0
+    ewma_update_names_per_second: float = 0.0
 
 
 class LoadMonitor:
     """Windowed counters of resolver work."""
 
-    def __init__(self, now: float = 0.0) -> None:
+    def __init__(self, now: float = 0.0, ewma_alpha: float = 1.0) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1]: {ewma_alpha}")
         self._window_start = now
         self._lookups = 0
         self._update_names = 0
+        self._ewma_alpha = ewma_alpha
+        self._ewma_lookups: Optional[float] = None
+        self._ewma_update_names: Optional[float] = None
         self.total_lookups = 0
         self.total_update_names = 0
 
@@ -46,12 +61,28 @@ class LoadMonitor:
         self.total_update_names += count
 
     def sample(self, now: float) -> LoadSample:
-        """Rates since the last sample; resets the window."""
+        """Rates since the last sample; resets the window and folds the
+        raw rates into the running EWMAs (first sample seeds them)."""
         window = max(now - self._window_start, 1e-9)
+        lookups = self._lookups / window
+        update_names = self._update_names / window
+        alpha = self._ewma_alpha
+        if self._ewma_lookups is None:
+            self._ewma_lookups = lookups
+            self._ewma_update_names = update_names
+        else:
+            self._ewma_lookups = (
+                alpha * lookups + (1.0 - alpha) * self._ewma_lookups
+            )
+            self._ewma_update_names = (
+                alpha * update_names + (1.0 - alpha) * self._ewma_update_names
+            )
         sample = LoadSample(
             window=window,
-            lookups_per_second=self._lookups / window,
-            update_names_per_second=self._update_names / window,
+            lookups_per_second=lookups,
+            update_names_per_second=update_names,
+            ewma_lookups_per_second=self._ewma_lookups,
+            ewma_update_names_per_second=self._ewma_update_names,
         )
         self._window_start = now
         self._lookups = 0

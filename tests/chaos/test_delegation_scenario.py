@@ -1,0 +1,68 @@
+"""Reduced-scale checks of the delegation-under-fire chaos scenario.
+
+The benchmark and CI smoke run the full crash matrix; these tests keep
+a representative slice in tier-1 so a regression in the handoff
+protocol, the invariants, or the scenario plumbing fails fast.
+"""
+
+from repro.chaos import (
+    run_delegation_ablation,
+    run_delegation_scenario,
+)
+
+# Small enough to stay fast in tier-1, but with >= 3 transfer chunks
+# (20 records / chunk size 8) so a mid-transfer crash has an observable
+# mid-transfer to hit.
+SCALE = dict(n_bulk=20, n_anchor=4, traffic=10.0)
+
+
+class TestDelegationScenario:
+    def test_fault_free_run_commits_exactly_one_handoff(self):
+        report = run_delegation_scenario(seed=3, **SCALE)
+        assert report.delegations_started == 1
+        assert report.delegations_committed == 1
+        assert report.lost_records == 0
+        assert len(report.authority) == 1
+        assert report.always_violations == ()
+        assert report.converged_violations == ()
+        assert report.window_success_rate >= 0.95
+
+    def test_recipient_crash_mid_transfer_self_heals(self):
+        report = run_delegation_scenario(
+            seed=3, crash_role="recipient", crash_phase="transfer",
+            restart_after=1.5, **SCALE
+        )
+        assert report.crash_at > 0.0
+        assert report.lost_records == 0
+        assert len(report.authority) == 1
+        assert report.converged_violations == ()
+        assert report.window_success_rate >= 0.95  # dual-serving window
+
+    def test_donor_crash_at_await_commit_converges_to_one_authority(self):
+        report = run_delegation_scenario(
+            seed=3, crash_role="donor", crash_phase="await-commit",
+            restart_after=1.5, **SCALE
+        )
+        assert report.crash_at > 0.0
+        assert report.lost_records == 0
+        assert len(report.authority) == 1
+        assert report.converged_violations == ()
+
+    def test_same_seed_runs_fingerprint_identically(self):
+        first = run_delegation_scenario(
+            seed=3, crash_role="recipient", crash_phase="transfer",
+            restart_after=1.5, **SCALE
+        )
+        second = run_delegation_scenario(
+            seed=3, crash_role="recipient", crash_phase="transfer",
+            restart_after=1.5, **SCALE
+        )
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_single_shot_ablation_loses_the_vspace(self):
+        ablation = run_delegation_ablation(seed=3, **SCALE)
+        on, off = ablation["two_phase"], ablation["ablated"]
+        assert on.lost_records == 0
+        assert on.converged_violations == ()
+        assert off.lost_records > 0
+        assert "single-vspace-authority" in off.converged_violations

@@ -97,6 +97,32 @@ class TestSpawning:
         # ...and its node is available for the next overload.
         assert "spare-1" in domain.dsr.candidates
 
+    def test_freed_node_can_be_spawned_onto_again(self):
+        """Regression: terminate must return the node to the candidate
+        pool in a state the next overload can actually claim — spawn,
+        retire, then spawn onto the *same* node a second time."""
+        domain = InsDomain(seed=47, config=loaded_config())
+        inr = domain.add_inr(address="inr-main")
+        domain.add_candidate("spare-1")
+        domain.add_service("[service=hot[id=1]]", resolver=inr)
+        client = domain.add_client(resolver=inr, reselect_interval=5.0)
+        domain.settle()
+        blast_lookups(domain, client, inr, rate=900, duration=15)
+        domain.run(12.0)
+        assert "spare-1" in domain.dsr.active_inrs
+        first = domain.inr_at("spare-1")
+        domain.run(200.0)  # idle: the helper retires, node freed
+        assert domain.dsr.active_inrs == ("inr-main",)
+        assert "spare-1" in domain.dsr.candidates
+        assert first.terminated
+        # Second overload wave claims the same node again.
+        blast_lookups(domain, client, inr, rate=900, duration=15)
+        domain.run(12.0)
+        assert "spare-1" in domain.dsr.active_inrs
+        second = domain.inr_at("spare-1")
+        assert second is not first and not second.terminated
+        assert second.was_spawned
+
     def test_spawned_sole_vspace_owner_never_terminates(self):
         """The termination guard: an idle INR that is the only resolver
         for a vspace must stay up (its names would become orphans)."""

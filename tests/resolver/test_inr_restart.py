@@ -100,6 +100,22 @@ class TestRestartLifecycle:
         domain.run(1.0)
         assert inbox == [b"hello-again"]
 
+    def test_restarted_monitor_window_starts_at_restart_time(self):
+        """Regression: the rebuilt LoadMonitor must open its window at
+        the restart instant. A default-constructed monitor (now=0.0)
+        would stretch the first post-restart window back to the epoch,
+        diluting — or after long uptime, faking — the load signal."""
+        domain = fast_domain(77)
+        a = domain.add_inr()
+        domain.run(100.0)
+        a.crash()
+        domain.run(5.0)
+        a.restart()
+        a.monitor.count_lookup(10)
+        sample = a.monitor.sample(now=a.now + 1.0)
+        # 10 lookups in the 1 s since restart: ~10/s, not 10/107 s.
+        assert sample.lookups_per_second == pytest.approx(10.0, rel=0.01)
+
     def test_double_restart(self):
         domain = fast_domain(76)
         a = domain.add_inr()
