@@ -1,10 +1,15 @@
 """``repro.lint`` — static analysis for the INS reproduction.
 
-A pluggable rule engine that parses every file once (AST plus
-import/alias and pragma tables) and runs registered rules over it,
-enforcing the invariants the runtime cannot cheaply check: determinism
-(no ambient randomness, wall clocks, or hash-order iteration on
-scheduling/wire paths), the declared layer DAG, and protocol hygiene.
+A pluggable two-pass rule engine. Pass 1 parses every file once (AST
+plus import/alias and pragma tables, content-hash cached across runs)
+and runs the per-file rules, enforcing the invariants the runtime
+cannot cheaply check: determinism (no ambient randomness, wall clocks,
+or hash-order iteration on scheduling/wire paths), the declared layer
+DAG, and protocol hygiene. Pass 2 assembles every parse into a
+whole-program :class:`~repro.lint.project.ProjectModel` (symbol table,
+import graph, call graph) and runs the project rules over it —
+interprocedural entropy taint, protocol-surface exhaustiveness, and
+node isolation — the properties no single file can witness.
 Violations are fixed, justified in place with a pragma, or recorded in
 the checked-in baseline — and stale suppressions are themselves
 reported, so escapes expire from the codebase the way the paper's
@@ -32,8 +37,9 @@ from .engine import (
     Finding,
     LintResult,
 )
+from .project import ProjectModel
 from .report import REPORT_SCHEMA_VERSION, render_json, render_text
-from .rules import REGISTRY, Rule, create_rules, register
+from .rules import REGISTRY, ProjectRule, Rule, create_rules, register
 
 __all__ = [
     "BAD_PRAGMA",
@@ -46,6 +52,8 @@ __all__ = [
     "LintResult",
     "PARSE_ERROR",
     "Profile",
+    "ProjectModel",
+    "ProjectRule",
     "REGISTRY",
     "REPORT_SCHEMA_VERSION",
     "Rule",

@@ -74,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         default=None,
-        help="comma-separated rule ids to run exclusively",
+        help="comma-separated rule ids to run exclusively (per-file and "
+        "project rules alike; unknown ids are a usage error)",
     )
     parser.add_argument(
         "--ignore",
@@ -107,7 +108,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule_id in sorted(REGISTRY):
             cls = REGISTRY[rule_id]
-            print(f"{rule_id} ({cls.severity}): {cls.summary}")
+            scope = getattr(cls, "scope", "file")
+            print(f"{rule_id} [{scope}] ({cls.severity}): {cls.summary}")
         return 0
 
     root = Path(args.root)

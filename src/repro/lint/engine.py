@@ -1,11 +1,21 @@
-"""The single-parse rule engine.
+"""The two-pass whole-program rule engine.
 
-Every file is parsed exactly once into a :class:`FileContext` — AST,
-source lines, import/alias tables, pragma table, and (for files inside
-``repro``) the module's dotted name and layer package. Each enabled
-:class:`~repro.lint.rules.Rule` then visits that shared context and
-yields :class:`Finding` objects; the engine applies pragma suppression
-and the checked-in baseline before reporting.
+**Pass 1** parses every file exactly once into a :class:`FileContext` —
+AST, source lines, import/alias tables, pragma table, and (for files
+inside ``repro``) the module's dotted name and layer package — and runs
+the per-file rules over it. Parses are cached across runs keyed by
+content hash, so re-running the engine (pytest's blanket test, the CI
+wall-time budget check) re-parses only files that changed.
+
+**Pass 2** assembles every context into one
+:class:`~repro.lint.project.ProjectModel` and runs the project rules
+(:class:`~repro.lint.rules.ProjectRule`) over it once — that is where
+cross-file properties (entropy taint reachability, protocol-surface
+exhaustiveness, node isolation) are checked. Project findings anchor to
+real (path, line) spots, so pragma accounting is deferred until after
+pass 2: a pragma on a line can suppress a cross-file finding, and a
+pragma left behind after the cross-file path is fixed becomes a
+``USELESS_PRAGMA`` finding like any other.
 
 The design mirrors how the paper treats correctness state as soft
 state: violations must either be fixed, justified in place (pragma), or
@@ -37,6 +47,13 @@ USELESS_PRAGMA = "useless-pragma"
 DEFAULT_EXCLUDED_DIRS = frozenset(
     {"__pycache__", ".git", ".hypothesis", "results", "corpus", ".venv"}
 )
+
+#: Cross-run parse cache: (abs path, root, content sha1) -> FileContext.
+#: Content-hash keyed, so an edited file re-parses and an untouched one
+#: does not; bounded by wholesale eviction, which at worst costs one
+#: re-parse sweep.
+_PARSE_CACHE: Dict[Tuple[str, str, str], "FileContext"] = {}
+_PARSE_CACHE_MAX = 4096
 
 
 @dataclass(frozen=True)
@@ -204,6 +221,11 @@ class LintResult:
     baselined: List[Finding] = field(default_factory=list)
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
+    #: Parse-cache accounting for this run (content-hash keyed).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Ids of the project rules that ran in pass 2.
+    project_rules: List[str] = field(default_factory=list)
 
     @property
     def errors(self) -> List[Finding]:
@@ -219,7 +241,7 @@ class LintResult:
 
 
 class Engine:
-    """Runs the rule pack over files, one parse per file."""
+    """Runs the rule pack over files: pass 1 per file, pass 2 project."""
 
     def __init__(
         self,
@@ -232,7 +254,7 @@ class Engine:
         excluded_dirs: Iterable[str] = DEFAULT_EXCLUDED_DIRS,
     ):
         # Imported lazily so ``engine`` has no import cycle with ``rules``.
-        from .rules import create_rules
+        from .rules import REGISTRY, create_rules
 
         self._explicit_rules = list(rules) if rules is not None else None
         self._create_rules = create_rules
@@ -243,6 +265,17 @@ class Engine:
         self.ignore = frozenset(ignore) if ignore else frozenset()
         self.excluded_dirs = frozenset(excluded_dirs)
         self._rule_cache: Dict[str, List] = {}
+        known = set(REGISTRY)
+        if self._explicit_rules is not None:
+            known |= {rule.id for rule in self._explicit_rules}
+        for label, ids in (("select", self.select), ("ignore", self.ignore)):
+            unknown = set(ids or ()) - known
+            if unknown:
+                raise ValueError(
+                    f"unknown rule ids in --{label}: "
+                    f"{', '.join(sorted(unknown))} "
+                    f"(known: {', '.join(sorted(known))})"
+                )
 
     # ------------------------------------------------------------------
     # File discovery
@@ -274,6 +307,7 @@ class Engine:
     # Rule selection
     # ------------------------------------------------------------------
     def _rules_for(self, profile: Profile) -> List:
+        """Per-file rules for one profile (project rules are pass 2)."""
         if profile.name in self._rule_cache:
             return self._rule_cache[profile.name]
         if self._explicit_rules is not None:
@@ -287,19 +321,83 @@ class Engine:
             )
         if self.select is not None:
             rules = [rule for rule in rules if rule.id in self.select]
-        rules = [rule for rule in rules if rule.id not in self.ignore]
+        rules = [
+            rule for rule in rules
+            if rule.id not in self.ignore
+            and getattr(rule, "scope", "file") != "project"
+        ]
         self._rule_cache[profile.name] = rules
         return rules
+
+    def _project_rules(self) -> List:
+        """Project rules honoring select/ignore (profile ``disable``
+        applies per finding path in pass 2, not here — a project rule
+        runs once and its findings land all over the tree)."""
+        if self._explicit_rules is not None:
+            rules = list(self._explicit_rules)
+        else:
+            rules = self._create_rules()
+        rules = [
+            rule for rule in rules
+            if getattr(rule, "scope", "file") == "project"
+        ]
+        if self.select is not None:
+            rules = [rule for rule in rules if rule.id in self.select]
+        return [rule for rule in rules if rule.id not in self.ignore]
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, paths: Sequence[Path]) -> LintResult:
         result = LintResult()
+        contexts: List[FileContext] = []
+        by_path: Dict[str, List[Finding]] = {}
         raw_findings: List[Finding] = []
+
+        # Pass 1: parse (cached) + per-file rules. Findings are staged
+        # per path, NOT pragma-filtered yet — pass 2 may add more.
         for path in self.discover(paths):
             result.files_scanned += 1
-            raw_findings.extend(self._lint_file(path, result.suppressed))
+            ctx, errors = self._context_for(path, result)
+            if ctx is None:
+                raw_findings.extend(errors)
+                continue
+            contexts.append(ctx)
+            profile = profile_for(ctx.rel_path, self.profiles)
+            staged = by_path.setdefault(ctx.rel_path, [])
+            for rule in self._rules_for(profile):
+                staged.extend(rule.check(ctx))
+
+        # Pass 2: whole-program model + project rules. A project rule
+        # runs once; its findings are dropped per path where the path's
+        # profile disables the rule (mirroring per-file selection).
+        project_rules = self._project_rules()
+        if project_rules and contexts:
+            from .project import ProjectModel
+
+            model = ProjectModel(
+                contexts, root=self.root, profiles=self.profiles
+            )
+            for rule in project_rules:
+                result.project_rules.append(rule.id)
+                for finding in rule.check_project(model):
+                    profile = profile_for(finding.path, self.profiles)
+                    if rule.id in profile.disable:
+                        continue
+                    by_path.setdefault(finding.path, []).append(finding)
+
+        # Pragma accounting runs last so pragmas can cover cross-file
+        # findings — and so a pragma orphaned by a fixed cross-file
+        # path surfaces as USELESS_PRAGMA.
+        for ctx in contexts:
+            raw_findings.extend(
+                self._apply_pragmas(
+                    ctx, by_path.pop(ctx.rel_path, []), result.suppressed
+                )
+            )
+        for leftovers in by_path.values():  # paths with no context
+            raw_findings.extend(leftovers)
+
         raw_findings.sort(key=Finding.sort_key)
         kept, baselined, stale = self.baseline.apply(raw_findings)
         result.findings = kept
@@ -307,34 +405,57 @@ class Engine:
         result.stale_baseline = stale
         return result
 
-    def _lint_file(
-        self, path: Path, suppressed_sink: Optional[List[Finding]] = None
-    ) -> List[Finding]:
+    def _context_for(
+        self, path: Path, result: LintResult
+    ) -> Tuple[Optional[FileContext], List[Finding]]:
+        """Parse one file through the content-hash cache.
+
+        Returns ``(context, [])`` or ``(None, [parse-error finding])``.
+        On a cache hit, per-run pragma usage is reset so accounting from
+        a previous run cannot leak into this one.
+        """
         rel = self._rel(path)
         try:
             text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError, ValueError) as exc:
+            return None, [self._parse_error(rel, exc)]
+        digest = hashlib.sha1(text.encode("utf-8")).hexdigest()
+        key = (str(path.resolve()), str(self.root), digest)
+        cached = _PARSE_CACHE.get(key)
+        if cached is not None:
+            result.cache_hits += 1
+            for pragma in cached.pragmas.values():
+                pragma.used_for.clear()
+            return cached, []
+        result.cache_misses += 1
+        try:
             ctx = FileContext(path, text, root=self.root)
-        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
-            lineno = getattr(exc, "lineno", None) or 1
-            return [
-                Finding(
-                    rule=PARSE_ERROR,
-                    path=rel,
-                    line=int(lineno),
-                    col=0,
-                    message=f"could not parse file: {exc}",
-                )
-            ]
-        profile = profile_for(rel, self.profiles)
-        findings: List[Finding] = []
-        for rule in self._rules_for(profile):
-            findings.extend(rule.check(ctx))
-        return self._apply_pragmas(ctx, findings, suppressed_sink)
+        except (SyntaxError, ValueError) as exc:
+            return None, [self._parse_error(rel, exc)]
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[key] = ctx
+        return ctx, []
+
+    @staticmethod
+    def _parse_error(rel: str, exc: Exception) -> Finding:
+        lineno = getattr(exc, "lineno", None) or 1
+        return Finding(
+            rule=PARSE_ERROR,
+            path=rel,
+            line=int(lineno),
+            col=0,
+            message=f"could not parse file: {exc}",
+        )
 
     def lint_text(
         self, text: str, path: str = "<memory>", profile: Optional[str] = None
     ) -> List[Finding]:
-        """Lint one in-memory source string (test/corpus helper)."""
+        """Lint one in-memory source string (test/corpus helper).
+
+        Per-file rules only — a single string has no project to model;
+        run :meth:`run` over a directory to exercise project rules.
+        """
         ctx = FileContext(Path(path), text, root=self.root)
         chosen = profile_for(
             profile if profile is not None else ctx.rel_path, self.profiles

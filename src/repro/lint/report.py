@@ -67,6 +67,13 @@ def render_json(result: LintResult) -> str:
             "baselined": len(result.baselined),
             "stale_baseline": len(result.stale_baseline),
             "by_rule": {rule: by_rule[rule] for rule in sorted(by_rule)},
+            # Additive (schema still v1): pass-2 and parse-cache info,
+            # so CI can assert the content-hash cache is exercised.
+            "project_rules": sorted(result.project_rules),
+            "parse_cache": {
+                "hits": result.cache_hits,
+                "misses": result.cache_misses,
+            },
         },
         "findings": [finding.to_dict() for finding in result.findings],
         "suppressed": [

@@ -1,18 +1,26 @@
-"""Pluggable rule pack: base class, registry, and rule construction.
+"""Pluggable rule pack: base classes, registry, and rule construction.
 
-A rule is one AST visitor over a :class:`~repro.lint.engine.FileContext`
-with an id (used in pragmas, baselines, and reports), a severity, and
-optional per-profile options. New rules register themselves with
-:func:`register`; the engine instantiates the pack per profile so the
-same rule can run with different options in different directories.
+Rules come in two scopes. A **per-file** rule (:class:`Rule`) is one
+AST visitor over a :class:`~repro.lint.engine.FileContext`; the engine
+instantiates the pack per profile so the same rule can run with
+different options in different directories. A **project** rule
+(:class:`ProjectRule`) runs once, after every file has parsed, over the
+:class:`~repro.lint.project.ProjectModel` — that is where cross-file
+properties (taint reachability, protocol-surface exhaustiveness, node
+isolation) live. Both share the id/severity/pragma/baseline machinery.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Type
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, Iterator, List, Mapping, Optional, Type,
+)
 
 from ..engine import SEVERITY_ERROR, SEVERITY_WARNING, FileContext, Finding
+
+if TYPE_CHECKING:
+    from ..project import ProjectModel
 
 #: rule id -> rule class, populated by :func:`register`.
 REGISTRY: Dict[str, Type["Rule"]] = {}
@@ -72,6 +80,45 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (pass 2).
+
+    ``check`` is a no-op — project rules never see individual files;
+    the engine calls :meth:`check_project` exactly once per run with
+    the assembled model. Findings anchor to real (path, line) spots so
+    pragmas and the baseline apply exactly as for per-file rules.
+    """
+
+    #: Marks the rule for the engine's pass-2 scheduling and for
+    #: ``--list-rules``.
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, model: "ProjectModel") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        model: "ProjectModel",
+        path: str,
+        line: int,
+        message: str,
+        col: int = 0,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity or self.severity,
+            source=model.source_line(path, line),
+        )
+
+
 def create_rules(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
@@ -92,11 +139,14 @@ def create_rules(
 
 # Importing the rule modules populates REGISTRY as a side effect.
 from . import determinism as _determinism  # noqa: E402,F401
+from . import flow as _flow  # noqa: E402,F401
 from . import hygiene as _hygiene  # noqa: E402,F401
 from . import layering as _layering  # noqa: E402,F401
+from . import protocol as _protocol  # noqa: E402,F401
 
 __all__ = [
     "REGISTRY",
+    "ProjectRule",
     "Rule",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",

@@ -1,0 +1,404 @@
+"""Cross-file flow rules: entropy taint and node isolation.
+
+``entropy-taint``
+    The per-file ``no-ambient-entropy`` rule only sees *direct* calls;
+    a wrapper around ``time.time()`` in one module laundered through an
+    intermediate helper is invisible to it. This rule propagates
+    ambient-entropy taint over the project call graph and flags every
+    call site that *reaches* a source, judged by the **caller's**
+    profile — which turns the wall-clock-forbidden profile pins for
+    ``obs``/``dtn``/``delegation`` into reachability guarantees. A
+    pragma at the source suppresses only the direct finding (the source
+    module may legitimately read the host clock); it does not sanction
+    callers in stricter profiles, so taint flows through it.
+
+``node-isolation``
+    The simulator's race-detector analog. Simulated nodes must interact
+    only through the message plane (netsim ``send``); a node method
+    that writes attributes through another node's process reference, or
+    that mutates module-level shared state, is cross-node coupling no
+    seed controls — the same bug class a data race is in a real
+    distributed system. Reads stay free (experiments and invariants
+    inspect state liberally); *writes* are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..engine import Finding
+from ..project import ProjectModel, _attribute_chain
+from . import ProjectRule, register
+from .determinism import ALLOWED_RANDOM, OS_ENTROPY, WALL_CLOCK
+
+# ----------------------------------------------------------------------
+# entropy-taint
+# ----------------------------------------------------------------------
+
+TAINT_RNG = "ambient-rng"
+TAINT_OS_ENTROPY = "os-entropy"
+TAINT_WALL_CLOCK = "wall-clock"
+
+
+def classify_entropy_origin(origin: str) -> Optional[str]:
+    """Taint kind of one external call origin, or None when clean.
+
+    Mirrors the per-file rule's source sets so the two rules can never
+    disagree about what counts as ambient entropy.
+    """
+    parts = origin.split(".")
+    if parts[0] == "random" and len(parts) == 2 and \
+            parts[1] not in ALLOWED_RANDOM:
+        return TAINT_RNG
+    if origin in OS_ENTROPY or parts[0] == "secrets":
+        return TAINT_OS_ENTROPY
+    if origin in WALL_CLOCK:
+        return TAINT_WALL_CLOCK
+    return None
+
+
+@register
+class EntropyTaintRule(ProjectRule):
+    id = "entropy-taint"
+    summary = (
+        "no call path from simulation code may reach ambient entropy "
+        "(wall clock, unseeded RNG, OS entropy), even through helpers "
+        "in other modules"
+    )
+    #: Chains longer than this are reported truncated (they still flag).
+    default_options = {"max_chain_display": 6}
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        taint = self._propagate(model)
+        for fn in model.functions.values():
+            profile = model.profile_for(fn.path)
+            if self.id in profile.disable:
+                continue
+            entropy_options = profile.rule_options.get(
+                "no-ambient-entropy", {}
+            )
+            sanctioned = frozenset(
+                {TAINT_WALL_CLOCK}
+                if entropy_options.get("allow_wall_clock", False)
+                else ()
+            )
+            for callee, call in fn.project_calls:
+                for kind, chain in sorted(taint.get(callee, {}).items()):
+                    if kind in sanctioned:
+                        continue
+                    yield self._taint_finding(
+                        model, fn.path, call, kind, (callee,) + chain
+                    )
+
+    # ------------------------------------------------------------------
+    def _propagate(
+        self, model: ProjectModel
+    ) -> Dict[str, Dict[str, Tuple[str, ...]]]:
+        """Fixed point of taint over the call graph.
+
+        ``taint[qname][kind]`` is the shortest known chain from that
+        function to a source: ``(callee, ..., origin)``. Direct sources
+        seed the map; each iteration extends callers until stable.
+        """
+        taint: Dict[str, Dict[str, Tuple[str, ...]]] = {}
+        for qname, fn in model.functions.items():
+            for origin, _call in fn.external_calls:
+                kind = classify_entropy_origin(origin)
+                if kind is None:
+                    continue
+                chains = taint.setdefault(qname, {})
+                if kind not in chains or len(chains[kind]) > 1:
+                    chains[kind] = (f"{origin}()",)
+        changed = True
+        iterations = 0
+        limit = max(4, len(model.functions))
+        while changed and iterations < limit:
+            changed = False
+            iterations += 1
+            for qname, fn in model.functions.items():
+                chains = taint.setdefault(qname, {})
+                for callee, _call in fn.project_calls:
+                    if callee == qname:
+                        continue
+                    for kind, chain in taint.get(callee, {}).items():
+                        candidate = (callee,) + chain
+                        if kind not in chains or \
+                                len(candidate) < len(chains[kind]):
+                            chains[kind] = candidate
+                            changed = True
+        return {q: c for q, c in taint.items() if c}
+
+    def _taint_finding(
+        self,
+        model: ProjectModel,
+        path: str,
+        call: ast.Call,
+        kind: str,
+        chain: Tuple[str, ...],
+    ) -> Finding:
+        limit = int(self.options["max_chain_display"])
+        shown = list(chain[:limit])
+        if len(chain) > limit:
+            shown.append("...")
+        rendered = " -> ".join(shown)
+        remedy = {
+            TAINT_WALL_CLOCK: "thread the simulator's virtual now instead",
+            TAINT_RNG: "thread a seeded random.Random instead",
+            TAINT_OS_ENTROPY: "derive bytes/ids from a seeded "
+                              "random.Random instead",
+        }[kind]
+        return self.finding_at(
+            model,
+            path,
+            call.lineno,
+            f"call launders {kind} through {rendered}; {remedy} "
+            "(the per-file no-ambient-entropy rule cannot see across "
+            "files, this reachability check can)",
+            col=call.col_offset,
+        )
+
+
+# ----------------------------------------------------------------------
+# node-isolation
+# ----------------------------------------------------------------------
+
+#: Container methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {"append", "add", "update", "pop", "remove", "discard", "clear",
+     "extend", "insert", "setdefault", "popitem", "appendleft",
+     "extendleft"}
+)
+
+
+def _store_roots(target: ast.AST) -> Optional[Tuple[str, List[str]]]:
+    """``(root_name, chain)`` when the store target is an attribute or
+    subscript chain hanging off a Name; None for plain-name stores.
+
+    Subscripts are transparent: ``registry.LIVE[k] = v`` yields
+    ``("registry", ["registry", "LIVE"])``.
+    """
+    node = target
+    attrs: List[str] = []
+    saw_deref = False
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        saw_deref = True
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+        node = node.value
+    if not saw_deref or not isinstance(node, ast.Name):
+        return None
+    return node.id, [node.id] + list(reversed(attrs))
+
+
+def _collect_bound_names(target: ast.AST, names: Set[str]) -> None:
+    """Names a store target *binds*. ``x = ...`` binds ``x``;
+    ``x[k] = ...`` and ``x.a = ...`` mutate an existing object and bind
+    nothing — their roots must NOT be treated as locals."""
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, ast.Starred):
+        _collect_bound_names(target.value, names)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _collect_bound_names(elt, names)
+
+
+def _local_names(fn_node: ast.AST) -> Set[str]:
+    """Names bound inside the function (params, assignments, loops,
+    withs, comprehensions) — stores through these are local, not global."""
+    names: Set[str] = set()
+    args = getattr(fn_node, "args", None)
+    if args is not None:
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            names.add(arg.arg)
+    for node in ast.walk(fn_node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            targets = [node.target]
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            targets = [
+                item.optional_vars for item in node.items
+                if item.optional_vars is not None
+            ]
+        elif isinstance(node, ast.comprehension):
+            targets = [node.target]
+        for target in targets:
+            _collect_bound_names(target, names)
+    return names
+
+
+def _global_decls(fn_node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return names
+
+
+@register
+class NodeIsolationRule(ProjectRule):
+    id = "node-isolation"
+    summary = (
+        "node methods must not write through another node's process "
+        "reference or mutate module-level state; nodes communicate "
+        "only via netsim send"
+    )
+    default_options = {
+        #: Root process classes; methods of their subclasses are "node
+        #: methods". The default is the simulator's process base.
+        "process_bases": ("repro.netsim.process.Process",),
+    }
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        bases = tuple(self.options["process_bases"])
+        process_classes = model.subclasses_of(bases)
+        if not process_classes:
+            return
+        for fn in model.functions.values():
+            if fn.class_qname not in process_classes:
+                continue
+            profile = model.profile_for(fn.path)
+            if self.id in profile.disable:
+                continue
+            yield from self._check_method(model, fn, process_classes)
+
+    # ------------------------------------------------------------------
+    def _check_method(self, model, fn, process_classes) -> Iterator[Finding]:
+        foreign = self._foreign_process_names(model, fn, process_classes)
+        locals_ = _local_names(fn.node)
+        globals_ = _global_decls(fn.node)
+        module = model.modules.get(fn.module)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target] if getattr(node, "value", True) \
+                    else []
+            else:
+                if isinstance(node, ast.Call):
+                    yield from self._check_mutating_call(
+                        model, fn, module, node, foreign, locals_
+                    )
+                continue
+            for target in targets:
+                yield from self._check_store(
+                    model, fn, module, node, target, foreign, locals_,
+                    globals_,
+                )
+
+    def _foreign_process_names(
+        self, model, fn, process_classes
+    ) -> Set[str]:
+        """Parameter (and aliased-local) names holding *another* node's
+        process: annotated as a process class, excluding ``self``."""
+        names: Set[str] = set()
+        types = model.local_types(fn)
+        for name, class_qname in types.items():
+            if name == "self":
+                continue
+            if class_qname in process_classes:
+                names.add(name)
+        return names
+
+    def _check_store(
+        self, model, fn, module, stmt, target, foreign, locals_, globals_
+    ) -> Iterator[Finding]:
+        rooted = _store_roots(target)
+        if rooted is None:
+            # Plain-name store: only a declared global is shared state.
+            if isinstance(target, ast.Name) and target.id in globals_:
+                yield self.finding_at(
+                    model, fn.path, stmt.lineno,
+                    f"node method rebinds module-level {target.id!r} via "
+                    "'global'; keep per-node state on the process object "
+                    "so runs stay seed-isolated",
+                    col=stmt.col_offset,
+                )
+            return
+        root, chain = rooted
+        if root in foreign:
+            dotted = ".".join(chain)
+            yield self.finding_at(
+                model, fn.path, stmt.lineno,
+                f"node method writes {dotted} through another node's "
+                "process reference; nodes may only communicate via "
+                "netsim send (reads are fine, writes are a simulated "
+                "data race)",
+                col=stmt.col_offset,
+            )
+            return
+        yield from self._flag_global_mutation(
+            model, fn, module, stmt, chain, locals_, "stores into"
+        )
+
+    def _check_mutating_call(
+        self, model, fn, module, call, foreign, locals_
+    ) -> Iterator[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or \
+                func.attr not in MUTATING_METHODS:
+            return
+        chain = _attribute_chain(func)
+        if chain is None:
+            return
+        root = chain[0]
+        if root in foreign:
+            dotted = ".".join(chain)
+            yield self.finding_at(
+                model, fn.path, call.lineno,
+                f"node method calls {dotted}() — an in-place mutation "
+                "through another node's process reference; send a "
+                "message instead",
+                col=call.col_offset,
+            )
+            return
+        if len(chain) <= 3:  # G.append() / mod.G.update(); deeper
+            yield from self._flag_global_mutation(  # chains are object
+                model, fn, module, call, chain[:-1], locals_,  # state
+                f"mutates in place via .{func.attr}()",
+            )
+
+    def _flag_global_mutation(
+        self, model, fn, module, node, chain, locals_, verb
+    ) -> Iterator[Finding]:
+        root = chain[0]
+        if root in locals_ or root == "self" or module is None:
+            return
+        owner: Optional[str] = None
+        name = root
+        if root in module.mutable_vars:
+            owner = module.name
+        else:
+            resolved = model.resolve_local(module.name, root)
+            if resolved is not None and resolved[0] == "var":
+                var_module, var_name = resolved[1].rsplit(".", 1)
+                info = model.modules.get(var_module)
+                if info is not None and var_name in info.mutable_vars:
+                    owner = var_module
+                    name = var_name
+            elif resolved is not None and resolved[0] == "module" and \
+                    len(chain) >= 2:
+                # module-attribute form: registry.LIVE_NODES[...] = x
+                info = model.modules.get(resolved[1])
+                if info is not None and chain[1] in info.mutable_vars:
+                    owner = resolved[1]
+                    name = chain[1]
+        if owner is None:
+            return
+        yield self.finding_at(
+            model, fn.path, node.lineno,
+            f"node method {verb} module-level mutable {name!r} "
+            f"(defined in {owner}); module globals are shared across "
+            "every node and every run — keep the state on the process "
+            "or pass it through the simulator",
+            col=node.col_offset,
+        )

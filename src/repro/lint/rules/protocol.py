@@ -1,0 +1,207 @@
+"""Protocol-surface exhaustiveness: wire messages, drop causes, docs.
+
+The protocol has three surfaces that must not drift apart:
+
+1. **Exports vs dispatch.** Every wire-message class exported from
+   ``repro.message`` must be matched by an ``isinstance`` arm reachable
+   from a dispatch entry point (``INR.handle_message``, the DSR's
+   handler). An exported message nobody dispatches is either dead wire
+   format or — worse — a payload that silently vanishes on arrival.
+2. **Drop counters vs span statuses.** Every ``drops_*`` field on
+   ``InrStats`` must have a matching ``drop:<cause>`` span-status
+   emission somewhere, so every counted loss is attributable in a
+   trace (the OBSERVABILITY contract).
+3. **Drop counters vs PROTOCOL.md.** Every drop cause must be
+   mentioned in the protocol document, so the spec enumerates the ways
+   a packet can die.
+
+All checks are one-directional from the declared surface (the export
+list, the stats dataclass) toward its consumers; span-status detection
+is best-effort over string constants in modules that reference
+``DROP_PREFIX`` (the codebase emits both literal ``"drop:x"`` statuses
+and ``DROP_PREFIX + cause`` concatenations with the cause threaded as a
+literal argument).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from ..engine import Finding
+from ..project import KIND_CLASS, ProjectModel, _attribute_chain
+from . import ProjectRule, register
+
+
+def _string_constants(tree: ast.AST) -> Set[str]:
+    return {
+        node.value
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def _references_name(tree: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(tree)
+    )
+
+
+@register
+class ProtocolExhaustiveRule(ProjectRule):
+    id = "protocol-exhaustive"
+    summary = (
+        "every exported wire message needs a reachable isinstance "
+        "dispatch arm; every drops_* counter needs a drop:<cause> span "
+        "emission and a PROTOCOL.md mention"
+    )
+    default_options = {
+        #: The package whose ``__all__`` declares the wire surface.
+        "message_package": "repro.message",
+        #: Dispatch roots; isinstance arms are collected from every
+        #: project function reachable from these.
+        "dispatch_entries": (
+            "repro.resolver.inr.INR.handle_message",
+            "repro.overlay.dsr.DomainSpaceResolver.handle_message",
+        ),
+        #: The stats dataclass carrying per-cause drop counters.
+        "stats_class": "repro.resolver.inr.InrStats",
+        "drops_prefix": "drops_",
+        #: Exported names that are wire *format*, not dispatched
+        #: payloads: headers, enums, records carried inside payloads,
+        #: error types, and InsMessage (dispatched wrapped in the
+        #: resolver's DataPacket).
+        "non_payload": (
+            "Binding", "CustodyRecord", "DelegateRecord",
+            "DelegationWireError", "Delivery", "Header", "HeaderError",
+            "InsMessage",
+        ),
+        #: Protocol document checked for drop-cause mentions, relative
+        #: to the lint root; the doc surface is skipped when absent.
+        "protocol_doc": "docs/PROTOCOL.md",
+    }
+
+    def check_project(self, model: ProjectModel) -> Iterator[Finding]:
+        yield from self._check_dispatch(model)
+        yield from self._check_drop_causes(model)
+
+    # ------------------------------------------------------------------
+    # Surface 1: exports vs reachable isinstance arms
+    # ------------------------------------------------------------------
+    def _check_dispatch(self, model: ProjectModel) -> Iterator[Finding]:
+        package = str(self.options["message_package"])
+        info = model.modules.get(package)
+        if info is None or not info.exports:
+            return  # tree without the wire package (fixtures, subsets)
+        entries = [str(e) for e in self.options["dispatch_entries"]]
+        if not any(e in model.functions for e in entries):
+            return  # no dispatcher in scope — half a tree, stay quiet
+        arms = self._reachable_isinstance_arms(model, entries)
+        ignored = set(self.options["non_payload"])
+        for export, _lineno in info.exports:
+            if export in ignored:
+                continue
+            resolved = model.resolve_local(package, export)
+            if resolved is None or resolved[0] != KIND_CLASS:
+                continue  # constants, helper functions, unresolved
+            class_qname = resolved[1]
+            if class_qname in arms:
+                continue
+            cls = model.classes[class_qname]
+            yield self.finding_at(
+                model, cls.path, cls.node.lineno,
+                f"wire message {export} is exported from {package} but "
+                "no isinstance dispatch arm reachable from "
+                f"{' / '.join(entries)} matches it; arriving payloads "
+                "of this type vanish undispatched — add a handler arm "
+                "or unexport it",
+            )
+
+    def _reachable_isinstance_arms(
+        self, model: ProjectModel, entries: List[str]
+    ) -> Set[str]:
+        arms: Set[str] = set()
+        for qname in model.reachable_from(entries):
+            fn = model.functions[qname]
+            for node in ast.walk(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance"
+                    and len(node.args) == 2
+                ):
+                    continue
+                types = node.args[1]
+                candidates = types.elts if isinstance(types, ast.Tuple) \
+                    else [types]
+                for candidate in candidates:
+                    chain = _attribute_chain(candidate)
+                    if chain is None:
+                        continue
+                    resolved = model.resolve_dotted(fn.module, chain)
+                    if resolved is not None and resolved[0] == KIND_CLASS:
+                        arms.add(resolved[1])
+        return arms
+
+    # ------------------------------------------------------------------
+    # Surfaces 2 + 3: drops_* counters vs spans vs PROTOCOL.md
+    # ------------------------------------------------------------------
+    def _check_drop_causes(self, model: ProjectModel) -> Iterator[Finding]:
+        stats_qname = str(self.options["stats_class"])
+        cls = model.classes.get(stats_qname)
+        if cls is None:
+            return
+        prefix = str(self.options["drops_prefix"])
+        emitted = self._emitted_statuses(model)
+        doc_text = self._protocol_doc_text(model)
+        for stmt in cls.node.body:
+            if not (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.target.id.startswith(prefix)
+            ):
+                continue
+            field = stmt.target.id
+            cause = field[len(prefix):].replace("_", "-")
+            if f"drop:{cause}" not in emitted and cause not in emitted:
+                yield self.finding_at(
+                    model, cls.path, stmt.lineno,
+                    f"drop counter {field} has no matching "
+                    f"'drop:{cause}' span-status emission; a loss "
+                    "counted here is invisible to trace queries — end "
+                    "the hop span with DROP_PREFIX + the cause",
+                )
+            if doc_text is not None and cause not in doc_text and \
+                    field not in doc_text:
+                doc = self.options["protocol_doc"]
+                yield self.finding_at(
+                    model, cls.path, stmt.lineno,
+                    f"drop cause '{cause}' ({field}) is not mentioned "
+                    f"in {doc}; the spec must enumerate every way a "
+                    "packet can die",
+                )
+
+    def _emitted_statuses(self, model: ProjectModel) -> Set[str]:
+        """Strings that can form a ``drop:<cause>`` span status.
+
+        Collects every ``drop:``-prefixed literal project-wide, plus
+        *all* string constants from modules that reference
+        ``DROP_PREFIX`` — those modules build statuses by
+        concatenation, with the cause carried as a literal argument.
+        """
+        statuses: Set[str] = set()
+        for info in model.modules.values():
+            tree = info.ctx.tree
+            constants = _string_constants(tree)
+            statuses.update(s for s in constants if s.startswith("drop:"))
+            if _references_name(tree, "DROP_PREFIX"):
+                statuses.update(constants)
+        return statuses
+
+    def _protocol_doc_text(self, model: ProjectModel) -> Optional[str]:
+        doc = model.root / str(self.options["protocol_doc"])
+        try:
+            return doc.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return None

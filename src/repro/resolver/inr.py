@@ -118,6 +118,9 @@ class InrStats:
     drops_no_endpoint: int = 0
     #: hop limit reached zero before delivery
     drops_hop_limit: int = 0
+    #: payload type no dispatch arm recognizes (wire-format skew or a
+    #: message class added without a handler)
+    drops_unknown_message: int = 0
 
     #: --- LOOKUP-NAME memo (resolution fast path) ---------------------
     #: Aggregated over every name-tree this INR routes plus the packet
@@ -185,6 +188,7 @@ class InrStats:
             + self.drops_malformed
             + self.drops_no_endpoint
             + self.drops_hop_limit
+            + self.drops_unknown_message
             + self.drops_custody_expired
             + self.drops_custody_evicted
             + self.drops_custody_transfer_failed
@@ -200,6 +204,7 @@ class InrStats:
             "malformed": self.drops_malformed,
             "no-endpoint": self.drops_no_endpoint,
             "hop-limit": self.drops_hop_limit,
+            "unknown-message": self.drops_unknown_message,
             "custody-expired": self.drops_custody_expired,
             "custody-evicted": self.drops_custody_evicted,
             "custody-transfer-failed": self.drops_custody_transfer_failed,
@@ -682,6 +687,23 @@ class INR(Process):
             self._handle_vspace_response(payload)
         elif isinstance(payload, DsrClaimResponse):
             self._handle_claim_response(payload)
+        else:
+            # Terminal arm: an unrecognized payload must be counted and
+            # trace-attributed, not silently swallowed — this is how
+            # wire-format skew between resolver versions surfaces.
+            self.stats.drops_unknown_message += 1
+            if self.tracer is not None:
+                try:
+                    context = getattr(payload, "trace", None)
+                except ValueError:
+                    context = None
+                self._span_end(
+                    self._span_start(
+                        "inr.hop", context,
+                        payload_type=type(payload).__name__,
+                    ),
+                    DROP_PREFIX + "unknown-message",
+                )
 
     # ------------------------------------------------------------------
     # Overlay self-configuration (Section 2.4)

@@ -1,0 +1,17 @@
+"""Corpus: minimal stand-in for the simulator's Process base class.
+
+Matches the qname the ``node-isolation`` rule roots its subclass
+search at (``repro.netsim.process.Process``). Never imported; scanned
+by tests/lint/test_corpus.py.
+"""
+
+
+class Process:
+    def __init__(self, node):
+        self.node = node
+        self.table = {}
+        self.inbox = []
+        self.clock = 0.0
+
+    def send(self, address, port, payload):
+        return (address, port, payload)

@@ -1,0 +1,1 @@
+"""Corpus package holding the node-isolation fixtures."""

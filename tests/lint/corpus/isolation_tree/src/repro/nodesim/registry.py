@@ -1,0 +1,3 @@
+"""Corpus: module-level mutable state node methods reach into."""
+
+LIVE_NODES = {}

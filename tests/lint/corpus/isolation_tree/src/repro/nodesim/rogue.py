@@ -1,0 +1,34 @@
+"""Corpus: every node-isolation violation shape, plus clean controls.
+
+Never imported; scanned by tests/lint/test_corpus.py. Line numbers are
+asserted — append, don't reorder.
+"""
+
+from repro.netsim.process import Process  # lint: disable=layering -- corpus tree sits outside the layer DAG
+from repro.nodesim import registry
+from repro.nodesim.registry import LIVE_NODES
+
+_SEEN = set()
+
+
+class Rogue(Process):
+    def poke(self, peer: Process, value):
+        peer.table["x"] = value          # line 16: foreign subscript store
+        peer.clock = value               # line 17: foreign attribute store
+        peer.inbox.append(value)         # line 18: foreign in-place mutation
+
+    def enroll(self, name):
+        LIVE_NODES[name] = self          # line 21: from-imported global
+        registry.LIVE_NODES[name] = self  # line 22: module-attr global
+        _SEEN.add(name)                  # line 23: own-module global
+
+    # Compliant shapes must NOT be flagged:
+    def ok(self, address, value):
+        local = []
+        local.append(value)
+        self.table["x"] = value
+        self.inbox.append(value)
+        return self.send(address, 7, value)
+
+    def ok_read(self, peer: Process):
+        return peer.clock, len(LIVE_NODES)

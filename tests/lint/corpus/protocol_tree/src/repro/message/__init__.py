@@ -1,0 +1,5 @@
+"""Corpus: the wire-surface export list the dispatch check reads."""
+
+from .wire import Orphan, Ping, Pong
+
+__all__ = ["Orphan", "Ping", "Pong"]

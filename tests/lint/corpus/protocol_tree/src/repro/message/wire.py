@@ -1,0 +1,17 @@
+"""Corpus: wire message classes, one of them never dispatched.
+
+Never imported; scanned by tests/lint/test_corpus.py. Line numbers are
+asserted — append, don't reorder.
+"""
+
+
+class Ping:
+    pass
+
+
+class Pong:
+    pass
+
+
+class Orphan:                            # line 16: exported, undispatched
+    pass

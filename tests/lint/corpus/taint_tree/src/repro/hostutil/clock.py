@@ -1,0 +1,16 @@
+"""Corpus: the laundering source — a pragma-sanctioned clock wrapper.
+
+The wall-clock read below is justified in place, so the per-file
+``no-ambient-entropy`` rule is silent on this whole tree; only the
+interprocedural ``entropy-taint`` rule can see that callers in other
+files inherit the taint. Never imported; scanned by
+tests/lint/test_corpus.py. Line numbers are asserted — append, don't
+reorder.
+"""
+
+import time
+
+
+def wall_seconds():
+    # line 16: sanctioned at the source, tainted for callers
+    return time.time()  # lint: disable=no-ambient-entropy -- host profiling helper; callers are policed by entropy-taint

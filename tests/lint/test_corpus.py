@@ -21,6 +21,9 @@ REPO = Path(__file__).resolve().parents[2]
 
 UPWARD = "layering_tree/src/repro/resolver/upward.py"
 CLEAN = "layering_tree/src/repro/naming/clean.py"
+TAINT_ONE_HOP = "taint_tree/src/repro/hostutil/stopwatch.py"
+TAINT_TWO_HOP = "taint_tree/src/repro/dtncore/sched.py"
+ROGUE = "isolation_tree/src/repro/nodesim/rogue.py"
 
 #: (rule, path, line) for every finding the corpus must produce.
 EXPECTED = {
@@ -41,6 +44,15 @@ EXPECTED = {
 } | {
     ("layering", UPWARD, line)
     for line in (7, 8, 9, 10, 11)
+} | {
+    ("entropy-taint", TAINT_ONE_HOP, 12),
+    ("entropy-taint", TAINT_TWO_HOP, 13),
+} | {
+    ("node-isolation", ROGUE, line)
+    for line in (16, 17, 18, 21, 22, 23)
+} | {
+    ("protocol-exhaustive", "protocol_tree/src/repro/message/wire.py", 16),
+    ("protocol-exhaustive", "protocol_tree/src/repro/resolver/inr.py", 17),
 }
 
 
@@ -83,6 +95,37 @@ def test_clean_bottom_layer_module_has_no_findings(corpus_result):
 
 def test_corpus_fails_the_build(corpus_result):
     assert corpus_result.exit_code == 1
+
+
+def test_per_file_rule_provably_misses_the_two_hop_wrapper():
+    """The acceptance case for ``entropy-taint``: the taint tree's
+    wall-clock read is pragma-sanctioned at its source, so the per-file
+    ``no-ambient-entropy`` rule reports *nothing* anywhere in the tree —
+    while the call-graph rule pins both laundering call sites, including
+    the two-hop wrapper in a different package."""
+    tree = CORPUS / "taint_tree"
+    per_file = Engine(root=CORPUS, select=["no-ambient-entropy"]).run([tree])
+    assert [
+        f for f in per_file.findings if f.rule == "no-ambient-entropy"
+    ] == []
+    taint = Engine(root=CORPUS, select=["entropy-taint"]).run([tree])
+    flagged = {
+        (f.path, f.line)
+        for f in taint.findings if f.rule == "entropy-taint"
+    }
+    assert flagged == {(TAINT_ONE_HOP, 12), (TAINT_TWO_HOP, 13)}
+    for finding in taint.findings:
+        if finding.rule == "entropy-taint":
+            assert "wall-clock" in finding.message
+
+
+def test_taint_chain_names_the_laundering_path(corpus_result):
+    (two_hop,) = [
+        f for f in corpus_result.findings
+        if f.rule == "entropy-taint" and f.path == TAINT_TWO_HOP
+    ]
+    for step in ("elapsed_since", "wall_seconds", "time.time()"):
+        assert step in two_hop.message
 
 
 def test_cli_reports_corpus_with_nonzero_exit():

@@ -231,3 +231,145 @@ class TestEngineEdges:
         result = Engine(root=tmp_path).run([tmp_path])
         assert result.files_scanned == 1
         assert result.findings == []
+
+
+TAINTED_SOURCE = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def jitter():\n"
+    "    return time.time()  "
+    "# lint: disable=no-ambient-entropy -- host helper\n"
+)
+
+TAINTED_CALLER = (
+    "from repro.util import jitter\n"
+    "\n"
+    "\n"
+    "def backoff(base):\n"
+    "    return base + jitter()  "
+    "# lint: disable=entropy-taint -- sanctioned while util reads the host clock\n"
+)
+
+
+class TestWholeProgramEngine:
+    """Pass-2 plumbing: validation, the parse cache, deferred pragmas."""
+
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "util.py").write_text(TAINTED_SOURCE)
+        (pkg / "proto.py").write_text(TAINTED_CALLER)
+        return tmp_path
+
+    def test_engine_rejects_unknown_select_and_ignore(self):
+        with pytest.raises(ValueError, match="--select"):
+            Engine(select=["entropy-taint", "no-such-rule"])
+        with pytest.raises(ValueError, match="--ignore"):
+            Engine(ignore=["nope"])
+        # Project rule ids are valid in both.
+        Engine(select=["entropy-taint"])
+        Engine(ignore=["protocol-exhaustive", "node-isolation"])
+
+    def test_project_rules_recorded_on_result(self, tmp_path):
+        root = self._tree(tmp_path)
+        result = Engine(root=root).run([root])
+        assert "entropy-taint" in result.project_rules
+        assert "node-isolation" in result.project_rules
+        assert "protocol-exhaustive" in result.project_rules
+        only = Engine(root=root, select=["no-ambient-entropy"]).run([root])
+        assert only.project_rules == []
+
+    def test_parse_cache_hits_and_identical_findings(self, tmp_path):
+        root = self._tree(tmp_path)
+        first = Engine(root=root).run([root])
+        assert first.cache_misses == 2
+        second = Engine(root=root).run([root])
+        assert second.cache_hits == 2
+        assert second.cache_misses == 0
+        key = lambda r: [
+            (f.rule, f.path, f.line, f.message) for f in r.findings
+        ]
+        assert key(first) == key(second)
+        assert len(first.suppressed) == len(second.suppressed)
+
+    def test_cache_invalidated_by_edit(self, tmp_path):
+        root = self._tree(tmp_path)
+        Engine(root=root).run([root])
+        (root / "src" / "repro" / "util.py").write_text(
+            TAINTED_SOURCE + "\n# touched\n"
+        )
+        result = Engine(root=root).run([root])
+        assert result.cache_hits == 1
+        assert result.cache_misses == 1
+
+    def test_cross_file_pragma_suppresses_project_finding(self, tmp_path):
+        root = self._tree(tmp_path)
+        result = Engine(root=root).run([root])
+        assert result.findings == []
+        suppressed = sorted(f.rule for f in result.suppressed)
+        assert suppressed == ["entropy-taint", "no-ambient-entropy"]
+
+    def test_fixed_taint_path_turns_pragma_useless(self, tmp_path):
+        """SATELLITE 3: fix the cross-file taint at its *source* and the
+        caller's untouched (cache-hit) pragma must surface as
+        USELESS_PRAGMA — deferred pragma accounting working across
+        files and across cached parses."""
+        root = self._tree(tmp_path)
+        Engine(root=root).run([root])
+        (root / "src" / "repro" / "util.py").write_text(
+            "def jitter():\n    return 0.0\n"
+        )
+        result = Engine(root=root).run([root])
+        assert result.cache_hits == 1  # proto.py came from the cache
+        assert [
+            (f.rule, f.path) for f in result.findings
+        ] == [(USELESS_PRAGMA, "src/repro/proto.py")]
+        assert result.findings[0].line == 5
+        assert result.findings[0].severity == SEVERITY_WARNING
+        assert result.exit_code == 0
+
+    def test_json_report_carries_pass2_fields(self, tmp_path):
+        root = self._tree(tmp_path)
+        report = json.loads(render_json(Engine(root=root).run([root])))
+        summary = report["summary"]
+        assert "entropy-taint" in summary["project_rules"]
+        cache = summary["parse_cache"]
+        assert set(cache) == {"hits", "misses"}
+        assert cache["hits"] + cache["misses"] == 2
+
+
+class TestCli:
+    def _main(self, argv, capsys):
+        from repro.lint.cli import main
+
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_list_rules_marks_project_scope(self, capsys):
+        code, out, _ = self._main(["--list-rules"], capsys)
+        assert code == 0
+        assert "entropy-taint [project]" in out
+        assert "no-ambient-entropy [file]" in out
+
+    def test_unknown_select_id_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        code, _, err = self._main(
+            ["--root", str(tmp_path), "--select", "no-such-rule",
+             str(tmp_path)],
+            capsys,
+        )
+        assert code == 2
+        assert "no-such-rule" in err
+
+    def test_select_project_rule_runs_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        code, out, _ = self._main(
+            ["--root", str(tmp_path), "--select", "entropy-taint",
+             "--format", "json", str(tmp_path)],
+            capsys,
+        )
+        assert code == 0
+        report = json.loads(out)
+        assert report["summary"]["project_rules"] == ["entropy-taint"]

@@ -1,0 +1,226 @@
+"""Rule-level tests for protocol-exhaustive over synthetic trees.
+
+The fixtures reuse the rule's default qnames (``repro.message``,
+``repro.resolver.inr.INR.handle_message``, ``repro.resolver.inr.
+InrStats``) so no option overrides are needed — mirroring how the rule
+runs against the real tree.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Engine
+
+
+def run_tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return Engine(root=tmp_path, select=["protocol-exhaustive"]).run(
+        [tmp_path]
+    )
+
+
+def findings(result):
+    return [f for f in result.findings if f.rule == "protocol-exhaustive"]
+
+
+WIRE = {
+    "src/repro/message/__init__.py": """
+        from .wire import Handled, Header, Orphan
+
+        __all__ = ["Handled", "Header", "Orphan"]
+    """,
+    "src/repro/message/wire.py": """
+        class Handled:
+            pass
+
+
+        class Header:
+            pass
+
+
+        class Orphan:
+            pass
+    """,
+}
+
+DISPATCH = {
+    "src/repro/resolver/inr.py": """
+        from repro.message import Handled
+
+        DROP_PREFIX = "drop:"
+
+
+        class InrStats:
+            drops_no_route: int = 0
+
+
+        class INR:
+            def handle_message(self, payload, sender):
+                if isinstance(payload, Handled):
+                    return payload
+                self._drop("no-route")
+
+            def _drop(self, cause):
+                return DROP_PREFIX + cause
+    """,
+}
+
+
+class TestDispatchSurface:
+    def test_undispatched_export_flagged_at_class_def(self, tmp_path):
+        result = run_tree(tmp_path, {**WIRE, **DISPATCH})
+        flagged = findings(result)
+        assert [(f.path, f.line) for f in flagged] == [
+            ("src/repro/message/wire.py", 10)
+        ]
+        assert "Orphan" in flagged[0].message
+        assert "no isinstance dispatch arm" in flagged[0].message
+        # Handled is dispatched; Header is non_payload wire format.
+        assert all("Handled" not in f.message for f in flagged)
+
+    def test_tuple_isinstance_and_helper_reachability(self, tmp_path):
+        files = dict(WIRE)
+        files["src/repro/resolver/inr.py"] = """
+            from repro.message import Handled, Orphan
+
+
+            class INR:
+                def handle_message(self, payload, sender):
+                    return self._late(payload)
+
+                def _late(self, payload):
+                    if isinstance(payload, (Handled, Orphan)):
+                        return payload
+        """
+        assert findings(run_tree(tmp_path, files)) == []
+
+    def test_unreachable_arm_does_not_count(self, tmp_path):
+        files = dict(WIRE)
+        files["src/repro/resolver/inr.py"] = """
+            from repro.message import Handled, Orphan
+
+
+            class INR:
+                def handle_message(self, payload, sender):
+                    if isinstance(payload, Handled):
+                        return payload
+
+                def never_called(self, payload):
+                    if isinstance(payload, Orphan):
+                        return payload
+        """
+        flagged = findings(run_tree(tmp_path, files))
+        assert [f.line for f in flagged] == [10]
+        assert "Orphan" in flagged[0].message
+
+    def test_silent_without_message_package_or_dispatcher(self, tmp_path):
+        # Only the dispatcher: no export surface to check.
+        assert findings(run_tree(tmp_path / "a", dict(DISPATCH))) == []
+        # Only the messages: no dispatcher in scope — stay quiet
+        # rather than flagging every export of a half-scanned tree.
+        assert findings(run_tree(tmp_path / "b", dict(WIRE))) == []
+
+
+class TestDropSurface:
+    def test_counter_without_emission_flagged(self, tmp_path):
+        files = dict(WIRE)
+        files["src/repro/resolver/inr.py"] = """
+            from repro.message import Handled, Orphan
+
+            DROP_PREFIX = "drop:"
+
+
+            class InrStats:
+                drops_no_route: int = 0
+                drops_ghost: int = 0
+
+
+            class INR:
+                def handle_message(self, payload, sender):
+                    if isinstance(payload, (Handled, Orphan)):
+                        return payload
+                    return DROP_PREFIX + "no-route"
+        """
+        flagged = findings(run_tree(tmp_path, files))
+        assert [(f.path, f.line) for f in flagged] == [
+            ("src/repro/resolver/inr.py", 9)
+        ]
+        assert "drops_ghost" in flagged[0].message
+        assert "'drop:ghost'" in flagged[0].message
+
+    def test_literal_status_in_another_module_counts(self, tmp_path):
+        files = dict(WIRE)
+        files["src/repro/resolver/inr.py"] = """
+            from repro.message import Handled, Orphan
+
+
+            class InrStats:
+                drops_ghost: int = 0
+
+
+            class INR:
+                def handle_message(self, payload, sender):
+                    if isinstance(payload, (Handled, Orphan)):
+                        return payload
+        """
+        files["src/repro/obs_helper.py"] = """
+            def status():
+                return "drop:ghost"
+        """
+        assert findings(run_tree(tmp_path, files)) == []
+
+    def test_doc_surface_flags_only_unmentioned_causes(self, tmp_path):
+        files = dict(WIRE)
+        files["src/repro/resolver/inr.py"] = """
+            from repro.message import Handled, Orphan
+
+            DROP_PREFIX = "drop:"
+
+
+            class InrStats:
+                drops_no_route: int = 0
+                drops_ghost: int = 0
+
+
+            class INR:
+                def handle_message(self, payload, sender):
+                    if isinstance(payload, (Handled, Orphan)):
+                        return payload
+                    return DROP_PREFIX + "no-route", DROP_PREFIX + "ghost"
+        """
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "PROTOCOL.md").write_text(
+            "Packets die with `drop:no-route` when no route exists.\n"
+        )
+        flagged = findings(run_tree(tmp_path, files))
+        assert [(f.path, f.line) for f in flagged] == [
+            ("src/repro/resolver/inr.py", 9)
+        ]
+        assert "docs/PROTOCOL.md" in flagged[0].message
+        assert "'ghost'" in flagged[0].message
+
+    def test_absent_doc_skips_the_doc_surface(self, tmp_path):
+        # Same tree as above but no docs/PROTOCOL.md: the span surface
+        # is satisfied, so nothing at all is flagged.
+        files = dict(WIRE)
+        files["src/repro/resolver/inr.py"] = """
+            from repro.message import Handled, Orphan
+
+            DROP_PREFIX = "drop:"
+
+
+            class InrStats:
+                drops_ghost: int = 0
+
+
+            class INR:
+                def handle_message(self, payload, sender):
+                    if isinstance(payload, (Handled, Orphan)):
+                        return payload
+                    return DROP_PREFIX + "ghost"
+        """
+        assert findings(run_tree(tmp_path, files)) == []

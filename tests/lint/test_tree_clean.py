@@ -1,11 +1,13 @@
 """Tier-1 blanket scan: the shipped tree passes its own lint.
 
 This replaces the old ``tests/test_determinism_lint.py`` ad-hoc AST
-scan. The whole rule pack runs over src, tests, benchmarks, and
-examples with the per-directory profiles and the checked-in baseline —
-the same configuration ``python -m repro.lint`` uses, so pytest and CI
-cannot drift apart.
+scan. The whole rule pack — per-file *and* project rules — runs over
+src, tests, benchmarks, and examples with the per-directory profiles
+and the checked-in baseline: the same configuration
+``python -m repro.lint`` uses, so pytest and CI cannot drift apart.
 """
+
+import pytest
 
 from pathlib import Path
 
@@ -23,21 +25,40 @@ def _run():
     return engine.run(roots)
 
 
-def test_shipped_tree_is_lint_clean():
-    result = _run()
-    assert result.errors == [], "\n" + render_text(result)
-    assert result.warnings == [], "\n" + render_text(result)
+@pytest.fixture(scope="module")
+def tree_result():
+    return _run()
 
 
-def test_baseline_has_no_stale_entries():
-    result = _run()
-    assert result.stale_baseline == [], [
-        entry.to_dict() for entry in result.stale_baseline
+def test_shipped_tree_is_lint_clean(tree_result):
+    assert tree_result.errors == [], "\n" + render_text(tree_result)
+    assert tree_result.warnings == [], "\n" + render_text(tree_result)
+
+
+def test_baseline_has_no_stale_entries(tree_result):
+    assert tree_result.stale_baseline == [], [
+        entry.to_dict() for entry in tree_result.stale_baseline
     ]
 
 
-def test_blanket_scan_actually_covers_the_tree():
-    result = _run()
+def test_blanket_scan_actually_covers_the_tree(tree_result):
     # The repo ships ~200 Python files; a collapsing count means the
     # walker or the profile wiring broke, not that the tree shrank.
-    assert result.files_scanned > 150
+    assert tree_result.files_scanned > 150
+
+
+def test_project_rules_ran_in_the_blanket_scan(tree_result):
+    # Pass 2 must actually have executed — a clean tree proves nothing
+    # if the whole-program rules were silently skipped.
+    assert set(tree_result.project_rules) >= {
+        "entropy-taint", "node-isolation", "protocol-exhaustive"
+    }
+
+
+def test_rescan_is_served_from_the_parse_cache(tree_result):
+    # A second scan of the unchanged tree must not re-parse anything,
+    # and the cached contexts must reproduce the same (clean) verdict.
+    again = _run()
+    assert again.cache_hits == again.files_scanned
+    assert again.cache_misses == 0
+    assert again.errors == [] and again.warnings == []
