@@ -1,25 +1,36 @@
 """Ablation — the INR packet-caching extension (Section 3.2).
 
-Repeated cacheable Camera requests should be answered by INR caches;
-the origin camera serves the first request and the caches absorb the
-rest.
+Engine-driven: the ``packet-cache`` workload runs the baseline and the
+cache-off arm from one spec, so this driver shares its run IDs (and its
+numbers) with the committed ``BENCH_matrix.json`` entry of the same
+name. Repeated cacheable Camera requests should be answered by INR
+caches; the origin camera serves the first request and the caches
+absorb the rest — with the cache ablated, every request reaches the
+origin.
 """
 
 from _report import record_table
 
-from repro.experiments.ablations import run_cache_experiment
+from repro.xp import ExperimentSpec, WORKLOADS, run_spec
+
+SPEC = ExperimentSpec(
+    name="packet-cache-camera",
+    workload="packet-cache",
+    seed=0,
+    params={"requests": 10},
+)
 
 
 def test_ablation_packet_cache(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_cache_experiment(requests=10),
-        rounds=1,
-        iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_spec(SPEC, timing=False), rounds=1, iterations=1
     )
-    record_table(
-        "Ablation: INR packet cache on repeated Camera requests",
-        ["requests", "served by origin", "answered from cache"],
-        [(result.requests, result.origin_served, result.cache_answers)],
-    )
+    for title, headers, rows in WORKLOADS["packet-cache"].suite_tables(run):
+        record_table(title, headers, rows)
+    result = run.baseline.details["result"]
     assert result.origin_served <= 2
     assert result.cache_answers >= result.requests - 2
+    # The ablated arm: with the cache off, nothing shields the origin.
+    ablated = run.ablations["packet_cache"].details["result"]
+    assert ablated.cache_answers == 0
+    assert ablated.origin_served == ablated.requests

@@ -1,40 +1,38 @@
 """Ablation — the Section 2.5 load-balancing machinery end to end.
 
-Spawn: a lookup-overloaded INR claims a candidate and a helper appears
-while the load flows, then retires when idle. Delegate: an
-update-overloaded INR hands a whole virtual space (names included) to a
-fresh INR and the space stays resolvable through vspace forwarding.
+Engine-driven: the ``spawn-overload`` and ``update-overload`` workloads
+run baseline vs ``load_balancing``-ablated arms from the same specs the
+committed ``BENCH_matrix.json`` uses. Spawn: a lookup-overloaded INR
+claims a candidate and a helper appears while the load flows, then
+retires when idle. Delegate: an update-overloaded INR hands a whole
+virtual space (names included) to a fresh INR and the space stays
+resolvable through vspace forwarding. With the policy ablated, the
+overloaded resolver just stays overloaded.
 """
 
 from _report import record_table
 
-from repro.experiments.ablations import (
-    run_delegation_experiment,
-    run_spawn_experiment,
+from repro.xp import ExperimentSpec, WORKLOADS, run_spec
+
+SPAWN_SPEC = ExperimentSpec(
+    name="spawn-overload",
+    workload="spawn-overload",
+    seed=0,
+    params={"request_rate": 900.0, "duration": 40.0},
+)
+
+UPDATE_SPEC = ExperimentSpec(
+    name="update-overload", workload="update-overload", seed=0
 )
 
 
 def test_ablation_spawn(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_spawn_experiment(request_rate=900.0, duration=40.0),
-        rounds=1,
-        iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_spec(SPAWN_SPEC, timing=False), rounds=1, iterations=1
     )
-    record_table(
-        "Ablation: spawn on lookup overload",
-        ["INRs before", "INRs during load", "INRs after idle",
-         "spawned nodes", "main peak util", "main min util (late)"],
-        [
-            (
-                result.inrs_before,
-                result.inrs_during_load,
-                result.inrs_after,
-                ",".join(result.spawned_addresses) or "-",
-                f"{result.main_peak_utilization:.2f}",
-                f"{result.main_min_utilization_late:.2f}",
-            )
-        ],
-    )
+    for title, headers, rows in WORKLOADS["spawn-overload"].suite_tables(run):
+        record_table(title, headers, rows)
+    result = run.baseline.details["result"]
     assert result.inrs_before == 1
     assert result.inrs_during_load >= 2
     assert result.inrs_after == 1  # helpers retire when idle
@@ -45,23 +43,24 @@ def test_ablation_spawn(benchmark):
     assert result.main_min_utilization_late < (
         result.main_peak_utilization / 2
     )
+    # Ablated: with the policy off no helper ever appears and the main
+    # resolver never gets relief.
+    off = run.ablations["load_balancing"].details["result"]
+    assert not off.spawned_addresses
+    assert off.inrs_during_load == 1
 
 
 def test_ablation_delegation(benchmark):
-    result = benchmark.pedantic(run_delegation_experiment, rounds=1, iterations=1)
-    record_table(
-        "Ablation: vspace delegation on update overload",
-        ["vspaces before", "vspaces after", "delegate resolver",
-         "delegated space still resolvable"],
-        [
-            (
-                ",".join(result.vspaces_before),
-                ",".join(result.vspaces_after),
-                ",".join(result.delegate_resolvers) or "-",
-                result.still_resolvable,
-            )
-        ],
+    run = benchmark.pedantic(
+        lambda: run_spec(UPDATE_SPEC, timing=False), rounds=1, iterations=1
     )
+    for title, headers, rows in WORKLOADS["update-overload"].suite_tables(run):
+        record_table(title, headers, rows)
+    result = run.baseline.details["result"]
     assert len(result.vspaces_after) < len(result.vspaces_before)
     assert result.delegate_resolvers
     assert result.still_resolvable
+    # Ablated: the overloaded resolver keeps every vspace.
+    off = run.ablations["load_balancing"].details["result"]
+    assert len(off.vspaces_after) == len(off.vspaces_before)
+    assert not off.delegate_resolvers

@@ -2,19 +2,20 @@
 
 The paper's robustness claims (§2.2, §2.4) are about the *resolver
 mesh*: soft state heals. This benchmark measures robustness where the
-application feels it — at the request boundary. Steady early-binding
-lookup traffic runs through one seeded fault plan (INR crashes with
-restarts, lossy links, a mesh partition, CPU overload) twice: once
-with the client resilience layer (retries/backoff, deadlines,
-failover) plus resolver admission control, once with plain
-fire-and-forget requests. Same seed, same faults — the difference is
-purely what the resilience machinery buys: higher success rate and
-zero permanently-hung replies, paid for with retry traffic and a
-longer success tail (retried requests succeed late instead of never).
+application feels it — at the request boundary. Engine-driven: the
+``availability`` workload runs steady early-binding lookup traffic
+through one seeded fault plan (INR crashes with restarts, lossy links,
+a mesh partition, CPU overload); the baseline arm keeps the client
+resilience layer (retries/backoff, deadlines, failover) and the
+``resilience`` ablation arm is plain fire-and-forget. Same seed, same
+faults — the difference is purely what the resilience machinery buys:
+higher success rate and zero permanently-hung replies, paid for with
+retry traffic and a longer success tail (retried requests succeed late
+instead of never).
 
 Emits ``BENCH_availability.json`` with both runs plus the success-rate
 delta for trend tracking across sessions. The resilience-on run is
-traced (``observe=True``): every lookup's hop-by-hop span tree lands in
+traced: every lookup's hop-by-hop span tree lands in
 ``BENCH_availability_spans.jsonl`` and, for ``chrome://tracing`` /
 Perfetto, ``BENCH_availability_trace.json``; the artifact JSON embeds
 the harvested metrics and span summary under ``observability``.
@@ -25,10 +26,19 @@ import os
 
 from _report import RESULTS_DIR, record_table, write_json_artifact
 
-from repro.chaos import run_availability_scenario, write_bench_availability_json
+from repro.chaos import write_bench_availability_json
 from repro.obs import well_formed_traces, write_chrome_trace, write_spans_jsonl
+from repro.xp import ExperimentSpec, run_spec
 
-SEED = 7
+#: Same spec as the committed ``BENCH_matrix.json`` entry, restricted
+#: to the resilience arm (the full matrix also ablates admission
+#: control and tracing; this driver regenerates the on/off artifact).
+SPEC = ExperimentSpec(
+    name="availability-chaos",
+    workload="availability",
+    seed=7,
+    ablations=("resilience",),
+)
 
 
 def _mttr_cell(report, kind):
@@ -37,15 +47,11 @@ def _mttr_cell(report, kind):
 
 
 def test_availability_resilience_on_vs_off(benchmark):
-    reports = benchmark.pedantic(
-        lambda: (
-            run_availability_scenario(seed=SEED, resilience=True, observe=True),
-            run_availability_scenario(seed=SEED, resilience=False),
-        ),
-        rounds=1,
-        iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_spec(SPEC, timing=False), rounds=1, iterations=1
     )
-    resilient, bare = reports
+    resilient = run.baseline.details["report"]
+    bare = run.ablations["resilience"].details["report"]
     payload = write_bench_availability_json(
         os.path.join(RESULTS_DIR, "BENCH_availability.json"), resilient, bare
     )
@@ -89,7 +95,7 @@ def test_availability_resilience_on_vs_off(benchmark):
                 f"{report.failovers}",
                 _mttr_cell(report, "crash-inr"),
             )
-            for report in reports
+            for report in (resilient, bare)
         ],
     )
     # The acceptance bar: under identical seeded faults the resilience

@@ -12,8 +12,12 @@ stopped serving, aborts, and retries onto a spare; single-shot orphans
 the vspace outright.
 
 Emits ``BENCH_delegation.json`` (the matrix and the ablation). The
-baseline run is traced: ``inr.delegate`` spans (one per phase
-transition per side) land in ``BENCH_delegation_spans.jsonl``.
+ablation is engine-driven — the same ``delegation`` spec the committed
+``BENCH_matrix.json`` runs, whose baseline arm is the two-phase
+protocol and whose ``delegation_two_phase`` arm is the single-shot
+transfer. The matrix's baseline run is traced: ``inr.delegate`` spans
+(one per phase transition per side) land in
+``BENCH_delegation_spans.jsonl``.
 """
 
 import os
@@ -21,13 +25,18 @@ import os
 from _report import RESULTS_DIR, record_table, write_json_artifact
 
 from repro.chaos import (
-    run_delegation_ablation,
     run_delegation_matrix,
     write_bench_delegation_json,
 )
 from repro.obs import well_formed_traces, write_spans_jsonl
+from repro.xp import ExperimentSpec, run_spec
 
 SEED = 7
+
+#: Identical to the committed matrix entry, run-IDs included.
+ABLATION_SPEC = ExperimentSpec(
+    name="delegation-crash", workload="delegation", seed=SEED
+)
 
 #: The dual-serving guarantee: lookups issued while a handoff is in
 #: flight keep succeeding, because the donor answers until COMMIT.
@@ -40,14 +49,20 @@ DONOR_CRASH_FLOOR = 0.70
 
 
 def test_delegation_crash_matrix_and_ablation(benchmark):
-    matrix, ablation = benchmark.pedantic(
+    matrix, ablation_run = benchmark.pedantic(
         lambda: (
             run_delegation_matrix(seed=SEED, observe_baseline=True),
-            run_delegation_ablation(seed=SEED),
+            run_spec(ABLATION_SPEC, timing=False),
         ),
         rounds=1,
         iterations=1,
     )
+    ablation = {
+        "two_phase": ablation_run.baseline.details["report"],
+        "ablated": ablation_run.ablations["delegation_two_phase"].details[
+            "report"
+        ],
+    }
     payload = write_bench_delegation_json(
         os.path.join(RESULTS_DIR, "BENCH_delegation.json"), matrix, ablation
     )

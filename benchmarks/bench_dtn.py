@@ -3,41 +3,63 @@
 The availability benchmark shows retries ride out faults *shorter than
 a request deadline*. This one measures the opposite regime: duty-cycled
 links and partitions that outlast any deadline, where a late-binding
-anycast payload is simply lost unless a custodian holds it. The same
+anycast payload is simply lost unless a custodian holds it.
+Engine-driven: one ``dtn`` spec per disruption length runs the same
 seeded fault plan (intermittent links, then a long partition cutting
-the service's resolver — and the DSR — off) runs twice per disruption
-length: once with the custody store enabled, once with the paper's
-drop-at-no-route behavior. The delta is purely what disruption
+the service's resolver — and the DSR — off) twice: the baseline with
+the custody store enabled, the ``custody`` ablation arm with the
+paper's drop-at-no-route behavior. The delta is purely what disruption
 tolerance buys: payloads queued during the partition are delivered
 when the service re-advertises on heal, at the price of a latency tail
 the length of the disruption.
 
 Emits ``BENCH_dtn.json`` (delivery ratio and latency vs disruption
-length, custody on vs off). The first custody-on run is traced:
-``inr.custody`` spans (accept/release/expire/evict) land in
-``BENCH_dtn_spans.jsonl``; drop attribution rides the artifact under
-``observability``.
+length, custody on vs off). The first spec is traced: ``inr.custody``
+spans (accept/release/expire/evict) land in ``BENCH_dtn_spans.jsonl``;
+drop attribution rides the artifact under ``observability``.
 """
 
 import os
 
 from _report import RESULTS_DIR, record_table, write_json_artifact
 
-from repro.chaos import run_dtn_sweep, write_bench_dtn_json
+from repro.chaos import write_bench_dtn_json
 from repro.obs import well_formed_traces, write_spans_jsonl
+from repro.xp import ExperimentSpec, run_spec
 
 SEED = 7
 DISRUPTIONS = (10.0, 30.0, 60.0)
 
+#: One spec per disruption length; only the first is traced (one
+#: observed run keeps the sweep cheap while still producing span
+#: artifacts for the CI job to upload).
+SPECS = [
+    ExperimentSpec(
+        name=f"dtn-disruption-{int(disruption)}",
+        workload="dtn",
+        seed=SEED,
+        toggles={"obs_tracing": index == 0},
+        params={"disruption": disruption},
+        ablations=("custody",),
+    )
+    for index, disruption in enumerate(DISRUPTIONS)
+]
+
 
 def test_dtn_custody_on_vs_off(benchmark):
-    rows = benchmark.pedantic(
-        lambda: run_dtn_sweep(
-            seed=SEED, disruptions=DISRUPTIONS, observe_first=True
-        ),
+    runs = benchmark.pedantic(
+        lambda: [run_spec(spec, timing=False) for spec in SPECS],
         rounds=1,
         iterations=1,
     )
+    rows = [
+        {
+            "disruption": disruption,
+            "custody_on": run.baseline.details["report"],
+            "custody_off": run.ablations["custody"].details["report"],
+        }
+        for disruption, run in zip(DISRUPTIONS, runs)
+    ]
     payload = write_bench_dtn_json(
         os.path.join(RESULTS_DIR, "BENCH_dtn.json"), rows
     )

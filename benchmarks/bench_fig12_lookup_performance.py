@@ -13,13 +13,14 @@ import random
 from _report import RESULTS_DIR, record_table
 
 from repro.experiments.fig12 import (
+    MemoAblationResult,
     run_lookup_experiment,
-    run_memo_ablation,
     run_update_ingestion_bench,
     write_bench_lookup_json,
 )
 from repro.experiments.workload import UniformWorkload
 from repro.nametree import NameTree
+from repro.xp import ExperimentSpec, WORKLOADS, run_spec
 
 
 def test_fig12_lookup_curve(benchmark):
@@ -64,6 +65,18 @@ def test_fig12_lookup_curve(benchmark):
     assert last.lookups_per_second > 5000
 
 
+#: The memo's home workload, engine-declared: the baseline arm runs
+#: memoized with periodic refreshes, the ``lookup_memo`` ablation arm
+#: is the uncached control — same tree, same queries, same refreshes.
+MEMO_SPEC = ExperimentSpec(
+    name="fig12-memo",
+    workload="lookup",
+    seed=0,
+    params={"names": 5000, "lookups": 20000},
+    ablations=("lookup_memo",),
+)
+
+
 def test_fig12_memo_ablation(benchmark):
     """Cached vs uncached LOOKUP-NAME on the repeated-query workload.
 
@@ -73,10 +86,25 @@ def test_fig12_memo_ablation(benchmark):
     those repeats into hash hits. Emits ``BENCH_lookup.json`` with the
     Figure-12 curve and the ablation numbers.
     """
-    ablation = benchmark.pedantic(
-        lambda: run_memo_ablation(refresh_every=100),
-        rounds=1,
-        iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_spec(MEMO_SPEC, timing=True), rounds=1, iterations=1
+    )
+    base = run.baseline
+    uncached_arm = run.ablations["lookup_memo"]
+    ablation = MemoAblationResult(
+        names_in_tree=int(MEMO_SPEC.params["names"]),
+        distinct_queries=64,
+        lookups=int(MEMO_SPEC.params["lookups"]),
+        uncached_lookups_per_second=uncached_arm.timings["lookups_per_second"],
+        cached_lookups_per_second=base.timings["lookups_per_second"],
+        speedup=(
+            base.timings["lookups_per_second"]
+            / uncached_arm.timings["lookups_per_second"]
+        ),
+        memo_hits=int(base.metrics["memo_hits"]),
+        memo_misses=int(base.metrics["memo_misses"]),
+        refreshes_during_cached_run=int(base.metrics["refreshes"]),
+        memo_invalidations=int(base.metrics["memo_invalidations"]),
     )
     ingestion = run_update_ingestion_bench()
     curve = run_lookup_experiment(
@@ -86,18 +114,8 @@ def test_fig12_memo_ablation(benchmark):
         os.path.join(RESULTS_DIR, "BENCH_lookup.json"), curve, ablation,
         ingestion,
     )
-    record_table(
-        "Ablation: lookup memo (cached vs uncached, repeated queries)",
-        ["mode", "lookups/s", "speedup"],
-        [
-            ("uncached", f"{ablation.uncached_lookups_per_second:.0f}", "1.0x"),
-            (
-                "memoized",
-                f"{ablation.cached_lookups_per_second:.0f}",
-                f"{ablation.speedup:.1f}x",
-            ),
-        ],
-    )
+    for title, headers, rows in WORKLOADS["lookup"].suite_tables(run):
+        record_table(title, headers, rows)
     assert payload["memo_ablation"]["speedup"] == ablation.speedup
     # The fast path must be worth having: >= 2x on repeated queries.
     assert ablation.speedup >= 2.0

@@ -2,7 +2,10 @@
 
 Paper: T_d(h) = h (T_lookup + T_graft + T_update + d_link): linear in
 hop count with a slope under 10 ms/hop; typical discovery times are a
-few tens of milliseconds.
+few tens of milliseconds. Engine-driven: the ``discovery`` workload's
+baseline is the traced run and its ``obs_tracing`` ablation is the
+untraced control, so the zero-cost-when-off claim is the ablation delta
+itself (importance 0 in the matrix).
 """
 
 import os
@@ -12,26 +15,36 @@ import pytest
 from _report import RESULTS_DIR, record_table
 
 from repro.experiments.fig14 import (
-    run_discovery_experiment,
     slope_ms_per_hop,
     write_bench_discovery_json,
+)
+from repro.xp import ExperimentSpec, run_spec
+
+SPEC = ExperimentSpec(
+    name="fig14-discovery",
+    workload="discovery",
+    seed=0,
+    params={"max_hops": 9},
 )
 
 
 def test_fig14_discovery_time(benchmark):
-    rows = benchmark.pedantic(
-        lambda: run_discovery_experiment(max_hops=9),
-        rounds=1,
-        iterations=1,
+    run = benchmark.pedantic(
+        lambda: run_spec(SPEC, timing=False), rounds=1, iterations=1
     )
+    rows = run.baseline.details["rows"]
     slope = slope_ms_per_hop(rows)
-    # Observed rerun: same seed, collector attached. Discovery traffic
-    # carries no trace contexts, so observation must not move a single
-    # timestamp — the zero-cost-when-off claim, checked per row.
-    observed_rows, collector = run_discovery_experiment(max_hops=9, observe=True)
-    assert observed_rows == rows
+    assert slope == run.baseline.metrics["slope_ms_per_hop"]
+    # The baseline run is traced; the ablated arm is the same seed with
+    # the collector gone. Discovery traffic carries no trace contexts,
+    # so observation must not move a single timestamp — the
+    # zero-cost-when-off claim, checked per row.
+    unobserved = run.ablations["obs_tracing"].details["rows"]
+    assert unobserved == rows
     payload = write_bench_discovery_json(
-        os.path.join(RESULTS_DIR, "BENCH_discovery.json"), rows, collector
+        os.path.join(RESULTS_DIR, "BENCH_discovery.json"),
+        rows,
+        run.baseline.collector,
     )
     metrics = payload["observability"]["metrics"]
     assert "counters" in metrics and "gauges" in metrics

@@ -1,12 +1,16 @@
-"""Perf smoke: the deterministic Figure-12 bench as a regression gate.
+"""Perf smoke: the deterministic Figure-12 bench gated by repro-bench-gate.
 
 Runs the fig12 lookup curve (same workload seeds as the checked-in
 ``benchmarks/results/BENCH_lookup.json``), the memo ablation and the
 update-ingestion ablation, then:
 
-1. compares the freshly-measured uncached lookup cost at the largest
-   tree size against the checked-in baseline and **exits non-zero when
-   it regressed by more than the threshold** (default 20%);
+1. hands the freshly-measured payload and the checked-in baseline to
+   the :mod:`repro.xp.gate` comparison — the same machinery behind the
+   ``repro-bench-gate`` console tool — with one explicit rule: the
+   uncached lookup cost at the largest tree size may not regress by
+   more than the threshold (default 20%, ``lower`` is better). The
+   rest of the wall-clock payload stays informational, and the gate
+   **exits non-zero on regression**;
 2. rewrites ``BENCH_lookup.json`` with the new numbers (CI uploads it
    as an artifact; a release commit checks it in as the next baseline).
 
@@ -32,11 +36,15 @@ sys.path.insert(0, os.path.dirname(__file__))  # for _report
 from _report import RESULTS_DIR  # noqa: E402
 
 from repro.experiments.fig12 import (  # noqa: E402
-    LookupRow,
     run_lookup_experiment,
     run_memo_ablation,
     run_update_ingestion_bench,
     write_bench_lookup_json,
+)
+from repro.xp.gate import (  # noqa: E402
+    MetricRule,
+    compare_artifacts,
+    render_gate_report,
 )
 
 #: The curve protocol: same points and seeds as the checked-in
@@ -74,6 +82,23 @@ def best_ingestion(repeats: int):
     return best
 
 
+def gate_rules(curve, threshold: float) -> list:
+    """The perf-smoke gate as explicit metric rules: the tree sizes
+    must match exactly (two different sweeps are not comparable), and
+    the uncached lookup cost at the largest size may not regress past
+    the threshold. Everything else in the wall-clock payload is left to
+    the ``fig12-lookup`` family default (informational)."""
+    largest = len(curve) - 1
+    return [
+        MetricRule("curve[*].names_in_tree", tolerance=0.0, direction="both"),
+        MetricRule(
+            f"curve[{largest}].mean_lookup_us",
+            tolerance=threshold,
+            direction="lower",
+        ),
+    ]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3)
@@ -96,13 +121,9 @@ def main(argv=None) -> int:
     try:
         with open(args.baseline) as handle:
             baseline = json.load(handle)
-        baseline_point = max(baseline["curve"], key=lambda r: r["names_in_tree"])
-        baseline_us = baseline_point["mean_lookup_us"]
-        baseline_names = baseline_point["names_in_tree"]
-    except (OSError, KeyError, ValueError) as error:
+    except (OSError, ValueError) as error:
         print(f"perf-smoke: no usable baseline ({error}); measuring only")
-        baseline_us = None
-        baseline_names = None
+        baseline = None
 
     curve = measure_curve(args.repeats)
     ablation = run_memo_ablation(refresh_every=100)
@@ -117,25 +138,24 @@ def main(argv=None) -> int:
     print(f"perf-smoke: memo speedup {ablation.speedup:.1f}x, "
           f"ingestion speedup {ingestion.speedup:.2f}x")
 
-    if not args.dry_run:
-        write_bench_lookup_json(args.output, curve, ablation, ingestion)
+    if args.dry_run:
+        # The writer both writes and returns the payload; a dry run
+        # only wants the return value.
+        payload = write_bench_lookup_json(os.devnull, curve, ablation, ingestion)
+    else:
+        payload = write_bench_lookup_json(args.output, curve, ablation, ingestion)
         print(f"perf-smoke: wrote {args.output}")
 
-    if baseline_us is None:
+    if baseline is None:
         return 0
-    current = max(curve, key=lambda r: r.names_in_tree)
-    if current.names_in_tree != baseline_names:
-        print("perf-smoke: baseline measures a different tree size "
-              f"({baseline_names} vs {current.names_in_tree}); not comparable")
-        return 1
-    limit = baseline_us * (1.0 + args.threshold)
-    verdict = "OK" if current.mean_lookup_us <= limit else "REGRESSED"
-    print(
-        f"perf-smoke: uncached lookup at {current.names_in_tree} names: "
-        f"{current.mean_lookup_us:.2f} us vs baseline {baseline_us:.2f} us "
-        f"(limit {limit:.2f} us) -> {verdict}"
+    report = compare_artifacts(
+        payload,
+        baseline,
+        rules=gate_rules(curve, args.threshold),
+        family="fig12-lookup",
     )
-    return 0 if verdict == "OK" else 1
+    print(render_gate_report(report))
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -126,6 +126,7 @@ def run_availability_scenario(
     settle: float = 3.0,
     drain: Optional[float] = None,
     observe: bool = False,
+    admission_control: Optional[bool] = None,
 ) -> AvailabilityReport:
     """Run steady lookup traffic through a seeded fault plan.
 
@@ -133,7 +134,10 @@ def run_availability_scenario(
     retries/deadlines/failover *and* resolver admission control. The
     fault plan itself is identical for both settings of ``resilience``
     (same seed, same surface), so the pair of runs is a controlled
-    ablation of the resilience machinery alone.
+    ablation of the resilience machinery alone. ``admission_control``
+    splits the resolver half out: when given, it overrides what
+    ``resilience`` implies, so the experiment engine can ablate client
+    retries and resolver admission control independently.
 
     ``observe=True`` attaches a :class:`repro.obs.ObsCollector` before
     any traffic flows: every lookup then produces a hop-by-hop span
@@ -143,7 +147,12 @@ def run_availability_scenario(
     sections).
     """
     config = config or fast_chaos_config()
-    config = replace(config, admission_control=resilience)
+    config = replace(
+        config,
+        admission_control=(
+            resilience if admission_control is None else admission_control
+        ),
+    )
     policy = (
         (retry_policy or CHAOS_RETRY_POLICY)
         if resilience

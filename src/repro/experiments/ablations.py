@@ -209,11 +209,15 @@ def run_spawn_experiment(
     request_rate: float = 800.0,
     duration: float = 60.0,
     seed: int = 0,
+    enable_load_balancing: bool = True,
 ) -> SpawnResult:
     """Overload one INR with early-binding lookups; with candidates
-    registered, the INR must spawn a helper (Section 2.5)."""
+    registered, the INR must spawn a helper (Section 2.5).
+    ``enable_load_balancing=False`` runs the same load with the policy
+    off — the ablation: no helper appears and the resolver stays
+    saturated for the whole run."""
     config = InrConfig(
-        enable_load_balancing=True,
+        enable_load_balancing=enable_load_balancing,
         spawn_lookup_rate=200.0,
         load_check_interval=5.0,
         refresh_interval=1e6,
@@ -278,12 +282,16 @@ class DelegationResult:
     still_resolvable: bool
 
 
-def run_delegation_experiment(seed: int = 0) -> DelegationResult:
+def run_delegation_experiment(
+    seed: int = 0, enable_load_balancing: bool = True
+) -> DelegationResult:
     """Update-overload an INR routing two vspaces; it must delegate one
     to a spawned INR, and names in the delegated space must remain
-    resolvable through vspace forwarding."""
+    resolvable through vspace forwarding.
+    ``enable_load_balancing=False`` is the ablation: the overloaded
+    resolver keeps both vspaces and nothing is shed."""
     config = InrConfig(
-        enable_load_balancing=True,
+        enable_load_balancing=enable_load_balancing,
         spawn_lookup_rate=1e9,  # never spawn for lookups in this run
         delegate_update_rate=50.0,
         load_check_interval=5.0,
@@ -332,13 +340,20 @@ class CacheResult:
     cache_answers: int
 
 
-def run_cache_experiment(requests: int = 10, seed: int = 0) -> CacheResult:
+def run_cache_experiment(
+    requests: int = 10, seed: int = 0, packet_cache: bool = True
+) -> CacheResult:
     """Repeatedly request the same camera frame with caching enabled;
     after the first response is cached at the client's INR, the origin
-    should stop seeing requests."""
+    should stop seeing requests. ``packet_cache=False`` disables the
+    INR caches (the controlled ablation: every request reaches the
+    origin)."""
     from ..apps import CameraReceiver, CameraTransmitter
 
-    config = InrConfig(refresh_interval=5.0)
+    config = InrConfig(
+        refresh_interval=5.0,
+        packet_cache_size=128 if packet_cache else 0,
+    )
     domain = InsDomain(seed=seed, config=config)
     inr_a = domain.add_inr(address="inr-a")
     inr_b = domain.add_inr(address="inr-b")

@@ -66,6 +66,28 @@ DEFAULT_PROFILES: Dict[str, Profile] = {
         name="delegation",
         rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
     ),
+    # The experiment engine's data side (specs, reports, schemas, the
+    # bench gate) must be byte-reproducible, so the wall-clock ban is
+    # pinned there; only the runner side below may time the host.
+    "src/repro/xp": Profile(
+        name="xp",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": False}},
+    ),
+    # Runner/workloads/cli execute benchmarks and may collect optional
+    # wall-clock timings (kept out of the deterministic report body);
+    # the CLI additionally stamps generated_at outside the run.
+    "src/repro/xp/runner.py": Profile(
+        name="xp-runner",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": True}},
+    ),
+    "src/repro/xp/workloads.py": Profile(
+        name="xp-runner",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": True}},
+    ),
+    "src/repro/xp/cli.py": Profile(
+        name="xp-runner",
+        rule_options={"no-ambient-entropy": {"allow_wall_clock": True}},
+    ),
     "examples": Profile(name="examples"),
     # Tests exercise internals across layers (the layering DAG governs
     # the package, not its tests) and deliberately assert *exact*

@@ -70,6 +70,14 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
         {"naming", "nametree", "message", "netsim", "resolver", "overlay",
          "client", "experiments", "obs"}
     ),
+    #: The experiment engine orchestrates everything below it — it maps
+    #: toggles onto experiment/chaos knobs and folds their reports —
+    #: and nothing imports it back.
+    "xp": frozenset(
+        {"naming", "nametree", "message", "netsim", "resolver", "overlay",
+         "client", "apps", "baselines", "analysis", "experiments", "chaos",
+         "dtn", "obs"}
+    ),
 }
 
 

@@ -99,6 +99,24 @@ class ValueNode:
                 stack.extend(value_node.children.values())
         return collected
 
+    def subtree_scan_cost(self) -> int:
+        """Nodes :meth:`subtree_records` visits when no aggregate is
+        maintained — the traversal the incremental subtree index
+        replaces with a dictionary copy. 0 when this node keeps an
+        aggregate: the indexed fast path walks nothing.
+        """
+        if self.aggregate is not None:
+            return 0
+        visited = 1
+        stack = list(self.children.values())
+        while stack:
+            attribute_node = stack.pop()
+            visited += 1
+            for value_node in attribute_node.children.values():
+                visited += 1
+                stack.extend(value_node.children.values())
+        return visited
+
     def subtree_frozen(self, epoch: int) -> FrozenSet["NameRecord"]:
         """:meth:`subtree_records` as a cached frozenset, keyed by the
         owning tree's ``epoch``.

@@ -372,6 +372,22 @@ class NameTree:
         self._memo[key] = frozen = frozenset(result)
         return set(frozen)
 
+    def wildcard_scan_cost(self, attribute: str) -> int:
+        """Nodes LOOKUP-NAME's wild-card branch must walk to union
+        every subtree under ``attribute``'s values when the incremental
+        index is off — the analytic cost the ``subtree_index`` ablation
+        reports (0 with the index: every union is a dictionary copy).
+        Counting instead of timing keeps the metric deterministic and
+        the lookup hot path uninstrumented.
+        """
+        attribute_node = self._root.children.get(attribute)
+        if attribute_node is None:
+            return 0
+        return sum(
+            value_node.subtree_scan_cost()
+            for value_node in attribute_node.children.values()
+        )
+
     _EMPTY: FrozenSet[NameRecord] = frozenset()
 
     def _lookup(self, tree_node: ValueNode, pairs):

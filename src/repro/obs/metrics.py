@@ -166,7 +166,13 @@ class Histogram(_Metric):
                 return bound
         return self.bounds[-1]
 
+    QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
     def snapshot(self) -> dict:
+        """Per-series buckets, count, sum — and deterministic p50/p95/
+        p99 summaries (bucket upper bounds, the same statistic
+        :meth:`percentile` reports), so engine reports and the bench
+        gate can compare tail latency without reprocessing buckets."""
         out = {}
         for key in sorted(self._series):
             series = self._series[key]
@@ -175,10 +181,15 @@ class Histogram(_Metric):
                 for index, bound in enumerate(self.bounds)
             }
             buckets["+Inf"] = series[len(self.bounds)]
+            labels = dict(key)
             out[_key_text(key)] = {
                 "buckets": buckets,
                 "count": series[-2],
                 "sum": series[-1],
+                "quantiles": {
+                    name: self.percentile(q, **labels)
+                    for name, q in self.QUANTILES
+                },
             }
         return out
 

@@ -69,6 +69,27 @@ class TestHistogram:
     def test_percentile_of_empty_series_is_nan(self):
         assert math.isnan(Histogram("h").percentile(0.5))
 
+    def test_snapshot_carries_deterministic_quantiles(self):
+        histogram = Histogram("latency", buckets=(0.01, 0.1, 1.0))
+        for _ in range(95):
+            histogram.observe(0.005)
+        for _ in range(4):
+            histogram.observe(0.05)
+        histogram.observe(0.5)
+        snap = histogram.snapshot()[""]
+        assert snap["quantiles"] == {"p50": 0.01, "p95": 0.01, "p99": 0.1}
+        # Same statistic percentile() reports — one schema, two views.
+        for name, q in Histogram.QUANTILES:
+            assert snap["quantiles"][name] == histogram.percentile(q)
+
+    def test_snapshot_quantiles_respect_labels(self):
+        histogram = Histogram("latency", buckets=(0.01, 1.0))
+        histogram.observe(0.005, inr="a")
+        histogram.observe(0.5, inr="b")
+        snap = histogram.snapshot()
+        assert snap["inr=a"]["quantiles"]["p99"] == 0.01
+        assert snap["inr=b"]["quantiles"]["p99"] == 1.0
+
     def test_no_buckets_rejected(self):
         with pytest.raises(ValueError, match="bucket"):
             Histogram("h", buckets=())

@@ -1,0 +1,147 @@
+"""End-to-end engine runs: determinism, schema, importance semantics."""
+
+import filecmp
+
+import pytest
+
+from repro.xp import (
+    ExperimentSpec,
+    build_matrix_report,
+    run_spec,
+    run_suite,
+    validate_artifact,
+    write_bench_matrix_json,
+)
+from repro.xp.report import importance, metric_deltas, table_filename
+from repro.xp.runner import SpecError
+
+
+def small_suite():
+    """The two fastest workloads — enough to exercise the whole path."""
+    return [
+        ExperimentSpec(
+            name="cache",
+            workload="packet-cache",
+            seed=0,
+            params={"requests": 10},
+        ),
+        ExperimentSpec(name="updates", workload="update-overload", seed=0),
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_matrix_is_byte_identical(self, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        for path in (first, second):
+            runs = run_suite(small_suite(), timing=False)
+            write_bench_matrix_json(path, build_matrix_report(runs))
+        assert filecmp.cmp(first, second, shallow=False)
+
+    def test_matrix_payload_schema_validates(self, tmp_path):
+        runs = run_suite(small_suite(), timing=False)
+        path = tmp_path / "BENCH_matrix.json"
+        payload = write_bench_matrix_json(path, build_matrix_report(runs))
+        assert validate_artifact(path, payload) == "xp-matrix"
+
+    def test_generated_at_is_stamped_outside_the_run(self, tmp_path):
+        runs = run_suite(small_suite(), timing=False)
+        payload = build_matrix_report(runs)
+        path = tmp_path / "m.json"
+        stamped = write_bench_matrix_json(path, payload, generated_at="2026-01-01")
+        assert stamped["generated_at"] == "2026-01-01"
+        bare = write_bench_matrix_json(path, payload, generated_at=None)
+        assert "generated_at" not in bare
+
+    def test_without_timing_no_wall_clock_fields_leak(self):
+        runs = run_suite(small_suite(), timing=False)
+        payload = build_matrix_report(runs)
+        for entry in payload["suite"]:
+            assert "timings" not in entry["baseline"]
+            for section in entry["ablations"].values():
+                assert "timings" not in section
+
+
+class TestMatrixContents:
+    def test_every_ablation_carries_run_id_deltas_and_primary(self):
+        runs = run_suite(small_suite(), timing=False)
+        payload = build_matrix_report(runs)
+        for entry in payload["suite"]:
+            assert entry["run_id"].startswith("xp-")
+            for toggle, section in entry["ablations"].items():
+                assert section["run_id"].startswith("xp-")
+                assert section["run_id"] != entry["run_id"]
+                assert section["deltas"]
+                assert section["primary"]["metric"] in section["metrics"]
+
+    def test_packet_cache_ablation_hurts_and_ranks(self):
+        payload = build_matrix_report(run_suite(small_suite(), timing=False))
+        ranked = {
+            row["component"]: row for row in payload["importance_ranking"]
+        }
+        # Removing the cache sends repeated requests back to the origin:
+        # origin_served is "lower is better", so importance is positive.
+        assert ranked["packet_cache"]["importance"] > 0
+        assert ranked["load_balancing"]["importance"] > 0
+
+    def test_duplicate_run_ids_rejected(self):
+        spec = small_suite()[0]
+        with pytest.raises(SpecError, match="duplicate"):
+            run_suite([spec, spec], timing=False)
+
+    def test_ablations_restriction_limits_the_arms(self):
+        spec = ExperimentSpec(
+            name="cache-only",
+            workload="packet-cache",
+            seed=0,
+            params={"requests": 10},
+            ablations=("packet_cache",),
+        )
+        run = run_spec(spec, timing=False)
+        assert set(run.ablations) == {"packet_cache"}
+
+    def test_ablations_restriction_must_name_workload_toggles(self):
+        spec = ExperimentSpec(
+            name="bad",
+            workload="packet-cache",
+            seed=0,
+            ablations=("custody",),
+        )
+        with pytest.raises(SpecError, match="does not honor"):
+            run_spec(spec, timing=False)
+
+
+class TestImportanceFunction:
+    def test_sign_convention_higher_is_better(self):
+        # Metric collapsed when ablated -> the component helps: positive.
+        assert importance(1.0, 0.2, "higher") == pytest.approx(0.8)
+        # Metric improved when ablated -> component is overhead: negative.
+        assert importance(0.5, 1.0, "higher") == pytest.approx(-0.5)
+
+    def test_sign_convention_lower_is_better(self):
+        assert importance(2.0, 10.0, "lower") == pytest.approx(0.8)
+        assert importance(10.0, 2.0, "lower") == pytest.approx(-0.8)
+
+    def test_bounded_and_zero_safe(self):
+        assert importance(0.0, 0.0, "higher") == 0.0
+        assert -1.0 <= importance(0.0, 123.0, "higher") <= 1.0
+
+    def test_metric_deltas_cover_shared_keys_only(self):
+        deltas = metric_deltas({"a": 1.0, "b": 2.0}, {"a": 3.0, "c": 4.0})
+        assert set(deltas) == {"a"}
+        assert deltas["a"]["delta"] == 2.0
+        assert deltas["a"]["relative"] == pytest.approx(2.0 / 3.0)
+
+
+class TestTableNaming:
+    def test_trailing_parenthetical_stripped_interior_kept(self):
+        assert (
+            table_filename("Ablation: spawn on lookup overload (rate 900/s)")
+            == "ablation__spawn_on_lookup_overload.txt"
+        )
+        assert (
+            table_filename(
+                "Ablation: lookup memo (cached vs uncached, repeated queries)"
+            )
+            == "ablation__lookup_memo.txt"
+        )

@@ -1,0 +1,102 @@
+"""Artifact data contracts: every committed BENCH_* file must parse."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.xp import SchemaError, validate_artifact, validate_results_dir
+from repro.xp.schema import ARTIFACT_SCHEMAS
+
+RESULTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+class TestCommittedArtifacts:
+    def test_every_committed_artifact_validates(self):
+        validated = validate_results_dir(RESULTS_DIR)
+        # The committed evaluation must at least cover the matrix, the
+        # perf trajectory, and the three chaos artifacts.
+        families = set(validated.values())
+        for required in (
+            "xp-matrix",
+            "fig12-lookup",
+            "availability-chaos",
+            "dtn-chaos",
+            "delegation-chaos",
+        ):
+            assert required in families, f"missing committed {required}"
+
+    def test_every_declared_family_is_versioned(self):
+        for family, (version, check) in ARTIFACT_SCHEMAS.items():
+            assert isinstance(version, int) and version >= 1, family
+            assert callable(check), family
+
+    def test_committed_matrix_covers_every_toggle(self):
+        from repro.xp import TOGGLES
+
+        path = RESULTS_DIR / "BENCH_matrix.json"
+        payload = json.loads(path.read_text())
+        ranked = {row["component"] for row in payload["importance_ranking"]}
+        assert ranked == set(TOGGLES)
+        assert len(ranked) >= 8
+
+
+def matrix_payload() -> dict:
+    return json.loads((RESULTS_DIR / "BENCH_matrix.json").read_text())
+
+
+class TestValidationFailures:
+    def test_unknown_family_is_an_error(self, tmp_path):
+        path = tmp_path / "BENCH_new.json"
+        path.write_text(json.dumps({"benchmark": "mystery", "v": 1}))
+        with pytest.raises(SchemaError, match="unknown benchmark family"):
+            validate_artifact(path)
+
+    def test_wrong_schema_version_is_an_error(self, tmp_path):
+        payload = matrix_payload()
+        payload["schema_version"] = 99
+        path = tmp_path / "BENCH_matrix.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="schema_version"):
+            validate_artifact(path)
+
+    def test_missing_required_field_is_an_error(self, tmp_path):
+        payload = matrix_payload()
+        del payload["importance_ranking"]
+        path = tmp_path / "BENCH_matrix.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="importance_ranking"):
+            validate_artifact(path)
+
+    def test_malformed_run_id_is_an_error(self, tmp_path):
+        payload = copy.deepcopy(matrix_payload())
+        payload["suite"][0]["run_id"] = "not-a-run-id"
+        path = tmp_path / "BENCH_matrix.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="run_id|run ID"):
+            validate_artifact(path)
+
+    def test_metrics_snapshot_requires_quantiles(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.histogram("latency").observe(0.05)
+        payload = registry.snapshot()
+        path = tmp_path / "BENCH_fresh_metrics.json"
+        path.write_text(json.dumps(payload))
+        assert validate_artifact(path) == "metrics-snapshot"
+        series = next(iter(payload["histograms"]["latency"].values()))
+        del series["quantiles"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="quantiles"):
+            validate_artifact(path)
+
+    def test_validate_results_dir_raises_on_any_bad_file(self, tmp_path):
+        good = matrix_payload()
+        (tmp_path / "BENCH_matrix.json").write_text(json.dumps(good))
+        bad = dict(good)
+        bad["schema_version"] = 99
+        (tmp_path / "BENCH_other.json").write_text(json.dumps(bad))
+        with pytest.raises(SchemaError):
+            validate_results_dir(tmp_path)
